@@ -1,0 +1,244 @@
+(* Benchmark harness: one bechamel test per reproduced table/figure (on
+   reduced catalogs so a run stays in the minutes) plus the ablation
+   micro-benchmarks called out in DESIGN.md. *)
+
+open Bechamel
+open Toolkit
+open Pmi_isa
+open Pmi_portmap
+open Pmi_core
+module Rat = Pmi_numeric.Rat
+module Machine = Pmi_machine.Machine
+module Harness = Pmi_measure.Harness
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures (built once, outside the timed region)              *)
+(* ------------------------------------------------------------------ *)
+
+let toy_catalog =
+  Catalog.of_list
+    [ ("add", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+       Iclass.plain (Iclass.Single Iclass.Alu));
+      ("mul", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+       Iclass.plain (Iclass.Single Iclass.Alu));
+      ("fma", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+       Iclass.plain (Iclass.Single Iclass.Alu)) ]
+
+let toy_add = Catalog.find toy_catalog 0
+let toy_mul = Catalog.find toy_catalog 1
+let toy_fma = Catalog.find toy_catalog 2
+
+let toy_mapping =
+  let both = Portset.of_list [ 0; 1 ] in
+  let p2 = Portset.singleton 1 in
+  let m = Mapping.create ~num_ports:2 in
+  Mapping.set m toy_add [ (both, 1) ];
+  Mapping.set m toy_mul [ (p2, 1) ];
+  Mapping.set m toy_fma [ (both, 2); (p2, 1) ];
+  m
+
+let toy_experiment = Experiment.of_counts [ (toy_mul, 2); (toy_fma, 1) ]
+
+let zen = Catalog.zen_plus ()
+let zen_machine = Machine.create zen
+let zen_harness = Harness.create zen_machine
+let zen_block =
+  Experiment.of_list
+    (List.filteri (fun i _ -> i < 5)
+       (List.map (fun b -> List.hd (Catalog.bucket zen b))
+          [ "blocking/alu"; "blocking/vec-logic"; "blocking/fp-add";
+            "blocking/shuffle"; "blocking/load" ]))
+
+(* A pipeline-sized fixture: reduced catalog with fresh harness per run so
+   caching does not hide the work. *)
+let reduced_harness () =
+  Harness.create (Machine.create (Catalog.reduced ~per_bucket:2 ()))
+
+let cegis_toy ~symmetry_breaking ~max_size () =
+  let truth = Mapping.create ~num_ports:3 in
+  Mapping.set truth toy_add [ (Portset.of_list [ 0; 1 ], 1) ];
+  Mapping.set truth toy_mul [ (Portset.of_list [ 1; 2 ], 1) ];
+  Mapping.set truth toy_fma [ (Portset.singleton 2, 1) ];
+  let config =
+    { Cegis.default_config with
+      Cegis.num_ports = 3; r_max = 4; max_experiment_size = max_size;
+      symmetry_breaking }
+  in
+  let measure e = Cegis.modeled_inverse config truth e in
+  let specs =
+    [ (toy_add, Encoding.Proper 2); (toy_mul, Encoding.Proper 2);
+      (toy_fma, Encoding.Proper 1) ]
+  in
+  match Cegis.infer ~config ~measure ~specs () with
+  | Cegis.Converged _ -> ()
+  | Cegis.No_consistent_mapping _ | Cegis.Iteration_limit _ ->
+    failwith "bench: toy CEGIS failed"
+
+let eval_schemes =
+  Pmi_eval.Blocks.spec_subset ~size:40
+    (List.concat_map (Catalog.bucket zen)
+       [ "blocking/alu"; "blocking/vec-logic"; "blocking/vec-int";
+         "blocking/fp-mul-cmp"; "blocking/shuffle"; "blocking/fp-add" ])
+
+let eval_blocks =
+  Pmi_eval.Blocks.generate ~count:50 ~block_size:5 eval_schemes
+
+let ground_truth = Machine.ground_truth zen_machine
+
+(* ------------------------------------------------------------------ *)
+(* Tests                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test name f = Test.make ~name (Staged.stage f)
+
+let micro_tests =
+  [ (* Ablation: the bottleneck-set formula vs the explicit simplex LP. *)
+    test "oracle/bottleneck-formula" (fun () ->
+        ignore (Throughput.inverse toy_mapping toy_experiment));
+    test "oracle/simplex-lp" (fun () ->
+        ignore (Lp_model.inverse toy_mapping toy_experiment));
+    test "oracle/zen-block" (fun () ->
+        ignore (Throughput.inverse_bounded ~r_max:5 ground_truth zen_block));
+    (* Machine and harness costs per measurement. *)
+    test "machine/measure-cycles" (fun () ->
+        ignore (Machine.measure_cycles zen_machine ~rep:0 zen_block));
+    test "harness/median-of-11" (fun () ->
+        ignore (Harness.cycles (Harness.create zen_machine) zen_block));
+    (* SAT solver on a classic instance. *)
+    test "sat/pigeonhole-7-6" (fun () ->
+        let open Pmi_smt in
+        let s = Sat.create () in
+        let v = Array.init 7 (fun _ -> Array.init 6 (fun _ -> Sat.fresh_var s)) in
+        for p = 0 to 6 do
+          Sat.add_clause s (Array.to_list (Array.map Lit.pos v.(p)))
+        done;
+        for h = 0 to 5 do
+          for p1 = 0 to 6 do
+            for p2 = p1 + 1 to 6 do
+              Sat.add_clause s
+                [ Lit.neg_of_var v.(p1).(h); Lit.neg_of_var v.(p2).(h) ]
+            done
+          done
+        done;
+        match Sat.solve s with
+        | Sat.Unsat -> ()
+        | Sat.Sat _ -> failwith "pigeonhole must be unsat") ]
+
+let characterize_fixture =
+  let blockers_ports =
+    [ ("blocking/alu", [ 6; 7; 8; 9 ]); ("blocking/vec-logic", [ 0; 1; 2; 3 ]);
+      ("blocking/load", [ 4; 5 ]); ("blocking/vec-shift", [ 2 ]) ]
+  in
+  let counter_free =
+    List.map
+      (fun (bucket, ports) ->
+         { Port_usage.scheme = List.hd (Catalog.bucket zen bucket);
+           ports = Portset.of_list ports })
+      blockers_ports
+  in
+  let with_counters =
+    List.map
+      (fun (bucket, ports) ->
+         (List.hd (Catalog.bucket zen bucket), Portset.of_list ports))
+      blockers_ports
+  in
+  let target = List.hd (Catalog.bucket zen "regular/scalar-load") in
+  (counter_free, with_counters, target)
+
+let ablation_tests =
+  [ (* The paper's headline trade: Algorithm 1 with per-port counters vs
+       the counter-free throughput-difference replacement. *)
+    test "ablation/characterize-counter-free" (fun () ->
+        let counter_free, _, target = characterize_fixture in
+        match Port_usage.characterize zen_harness ~blockers:counter_free target with
+        | Port_usage.Usage _ -> ()
+        | Port_usage.Failed _ -> failwith "bench: characterisation failed");
+    test "ablation/characterize-uops-info" (fun () ->
+        let _, with_counters, target = characterize_fixture in
+        ignore (Uops_info.characterize zen_machine ~blockers:with_counters target));
+    (* Symmetry breaking: CEGIS convergence cost with and without. *)
+    test "ablation/cegis-with-symmetry" (cegis_toy ~symmetry_breaking:true ~max_size:4);
+    test "ablation/cegis-no-symmetry" (cegis_toy ~symmetry_breaking:false ~max_size:4);
+    (* Stratification bound of the distinguishing-experiment search. *)
+    test "ablation/cegis-bound-3" (cegis_toy ~symmetry_breaking:true ~max_size:3);
+    test "ablation/cegis-bound-6" (cegis_toy ~symmetry_breaking:true ~max_size:6) ]
+
+let table_figure_tests =
+  [ (* Table 1: stage-1 classification + candidate filtering. *)
+    test "table1/blocking-classes" (fun () ->
+        let harness = reduced_harness () in
+        let catalog = Machine.catalog (Harness.machine harness) in
+        let candidates =
+          Array.to_list (Catalog.schemes catalog)
+          |> List.filter_map (fun s ->
+              match Blocking.classify_individual harness s with
+              | Blocking.Candidate n -> Some (s, n)
+              | Blocking.Hardwired | Blocking.Unreliable | Blocking.Zero_uop
+              | Blocking.Outside_model | Blocking.Multi_uop _ -> None)
+        in
+        let result = Blocking.filter_candidates harness candidates in
+        assert (List.length result.Blocking.classes = 13));
+    (* Table 2 + funnel: the whole pipeline on the reduced catalog. *)
+    test "table2+funnel/pipeline" (fun () ->
+        let harness = reduced_harness () in
+        let result = Pipeline.run harness in
+        assert (result.Pipeline.funnel.Pipeline.blocking_classes = 13));
+    (* Figure 5: per-model prediction cost over 50 blocks. *)
+    test "figure5/ours-predictions" (fun () ->
+        List.iter
+          (fun e -> ignore (Throughput.inverse_bounded ~r_max:5 ground_truth e))
+          eval_blocks);
+    test "figure5/pmevo-inference" (fun () ->
+        let config =
+          { Pmi_baselines.Pmevo.default_config with
+            Pmi_baselines.Pmevo.population = 12; generations = 5 }
+        in
+        let training =
+          Pmi_baselines.Pmevo.training_set ~pairs:40 ~blocks:20 zen_harness
+            eval_schemes
+        in
+        ignore (Pmi_baselines.Pmevo.infer ~config training eval_schemes));
+    test "figure5/palmed-inference" (fun () ->
+        let config =
+          { Pmi_baselines.Palmed.default_config with
+            Pmi_baselines.Palmed.throughput_classes = 16 }
+        in
+        ignore (Pmi_baselines.Palmed.infer ~config zen_harness eval_schemes)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:40 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+  in
+  List.iter
+    (fun t ->
+       let results = Benchmark.all cfg instances t in
+       List.iter
+         (fun instance ->
+            let results = Analyze.all ols instance results in
+            Hashtbl.iter
+              (fun name ols_result ->
+                 match Analyze.OLS.estimates ols_result with
+                 | Some [ per_run ] ->
+                   Format.printf "%-32s %12.1f ns/run@." name per_run
+                 | Some _ | None ->
+                   Format.printf "%-32s (no estimate)@." name)
+              results)
+         instances)
+    tests
+
+let () =
+  Format.printf "== micro-benchmarks ==@.";
+  benchmark micro_tests;
+  Format.printf "@.== ablations (DESIGN.md) ==@.";
+  benchmark ablation_tests;
+  Format.printf "@.== table/figure regeneration ==@.";
+  benchmark table_figure_tests;
+  Format.printf "@.done.@."

@@ -1,0 +1,377 @@
+(* Reproduction driver: regenerates the paper's tables and figures on the
+   simulated Zen+ machine.  See EXPERIMENTS.md for the index. *)
+
+open Pmi_isa
+module Mapping = Pmi_portmap.Mapping
+module Machine = Pmi_machine.Machine
+module Harness = Pmi_measure.Harness
+module Pipeline = Pmi_core.Pipeline
+module Blocking = Pmi_core.Blocking
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let make_harness ~reduced ~seed =
+  let catalog =
+    if reduced > 0 then Catalog.reduced ~per_bucket:reduced ()
+    else Catalog.zen_plus ()
+  in
+  let config = { Machine.default_config with Machine.seed } in
+  Harness.create (Machine.create ~config catalog)
+
+let run_pipeline ~reduced ~seed =
+  let harness = make_harness ~reduced ~seed in
+  let t0 = Unix.gettimeofday () in
+  let result = Pipeline.run harness in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "pipeline finished in %.1f s (%d benchmarks)@." dt
+    (Harness.benchmarks_run harness);
+  (harness, result)
+
+(* ------------------------------------------------------------------ *)
+(* Funnel (§4.1-§4.4 numbers)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let print_funnel (_, result) =
+  Format.printf "@.== Case-study funnel ==@.%a" Pipeline.pp_funnel
+    result.Pipeline.funnel
+
+let funnel reduced seed = print_funnel (run_pipeline ~reduced ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: blocking-instruction classes                               *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table1 =
+  [ ("add", 4, 242); ("vpor", 4, 21); ("vpaddd", 3, 30); ("vminps", 2, 143);
+    ("vbroadcastss", 2, 50); ("vpaddsw", 2, 17); ("vaddps", 2, 10);
+    ("mov", 2, 6); ("vpslld", 1, 27); ("vpmuldq", 1, 10); ("imul", 1, 9);
+    ("vroundps", 1, 4); ("vmovd", 1, 2) ]
+
+let print_table1 (_, result) =
+  Format.printf "@.== Table 1: blocking instruction classes ==@.";
+  Format.printf "%-8s %-44s %8s %10s@." "# Ports" "Representative" "# Equiv."
+    "(paper)";
+  List.iter
+    (fun k ->
+       let mnemonic = Scheme.mnemonic k.Blocking.representative in
+       let paper =
+         match
+           List.find_opt
+             (fun (m, p, _) -> m = mnemonic && p = k.Blocking.port_count)
+             paper_table1
+         with
+         | Some (_, _, n) -> string_of_int n
+         | None -> "-"
+       in
+       Format.printf "%-8d %-44s %8d %10s@." k.Blocking.port_count
+         (Scheme.name k.Blocking.representative)
+         (List.length k.Blocking.members)
+         paper)
+    result.Pipeline.filtering.Blocking.classes;
+  Format.printf "@.dropped as unstable: %d, as contradictory: %d@."
+    (List.length result.Pipeline.filtering.Blocking.unstable)
+    (List.length result.Pipeline.filtering.Blocking.contradictory)
+
+let table1 reduced seed = print_table1 (run_pipeline ~reduced ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: inferred port usage of the blocking instructions           *)
+(* ------------------------------------------------------------------ *)
+
+let print_table2 (harness, result) =
+  let machine = Harness.machine harness in
+  let docs = Machine.ground_truth machine in
+  Format.printf "@.== Table 2: documented vs inferred port usage ==@.";
+  Format.printf "%-44s %-24s %s@." "Instruction scheme" "Doc. ports"
+    "Inferred ports";
+  let show scheme =
+    let doc =
+      match Mapping.find_opt docs scheme with
+      | Some usage -> Mapping.usage_to_string usage
+      | None -> "-"
+    in
+    let inferred =
+      match Mapping.find_opt result.Pipeline.blocker_mapping scheme with
+      | Some usage -> Mapping.usage_to_string usage
+      | None -> "-"
+    in
+    Format.printf "%-44s %-24s %s@." (Scheme.name scheme) doc inferred
+  in
+  List.iter
+    (fun k -> show k.Blocking.representative)
+    (List.filter
+       (fun k ->
+          not
+            (List.exists
+               (fun r ->
+                  Scheme.equal r.Blocking.representative k.Blocking.representative)
+               result.Pipeline.removed_classes))
+       result.Pipeline.filtering.Blocking.classes);
+  List.iter show result.Pipeline.improper;
+  (match result.Pipeline.alignment with
+   | Some a ->
+     Format.printf "@.port renaming matched %d schemes%s@."
+       (List.length a.Pmi_core.Relabel.matched)
+       (match a.Pmi_core.Relabel.dropped with
+        | [] -> ""
+        | dropped ->
+          Printf.sprintf " (ambiguous, as in the paper: %s)"
+            (String.concat ", " (List.map Scheme.name dropped)))
+   | None -> Format.printf "@.no port renaming found@.");
+  List.iter
+    (fun k ->
+       Format.printf "excluded during inference (§4.3): %s@."
+         (Scheme.name k.Blocking.representative))
+    result.Pipeline.removed_classes;
+  (match result.Pipeline.cegis_stats with
+   | Some stats ->
+     Format.printf
+       "@.CEGIS: %d iterations, %d experiments, %d candidate mappings, %d lemmas@."
+       stats.Pmi_core.Cegis.iterations
+       (List.length stats.Pmi_core.Cegis.observations)
+       stats.Pmi_core.Cegis.candidates_tried
+       stats.Pmi_core.Cegis.theory_lemmas
+   | None -> ())
+
+let table2 reduced seed = print_table2 (run_pipeline ~reduced ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: prediction accuracy vs PMEvo and Palmed                   *)
+(* ------------------------------------------------------------------ *)
+
+let print_figure5 reduced (harness, result) =
+  let options =
+    if reduced > 0 then Pmi_eval.Figure5.quick_options
+    else Pmi_eval.Figure5.default_options
+  in
+  let t0 = Unix.gettimeofday () in
+  let fig =
+    Pmi_eval.Figure5.run ~options harness ~mapping:result.Pipeline.mapping
+  in
+  Format.printf "evaluation finished in %.1f s@.@."
+    (Unix.gettimeofday () -. t0);
+  Format.printf "%a@." Pmi_eval.Figure5.pp fig
+
+let figure5 reduced seed = print_figure5 reduced (run_pipeline ~reduced ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Export / analyze: the downstream-tool workflow                      *)
+(* ------------------------------------------------------------------ *)
+
+let export_path = "zenplus_portmap.txt"
+
+let export reduced seed =
+  let _, result = run_pipeline ~reduced ~seed in
+  let oc = open_out export_path in
+  Pmi_portmap.Mapping_io.write oc result.Pipeline.mapping;
+  close_out oc;
+  Format.printf "wrote %d scheme mappings to %s@."
+    (Mapping.size result.Pipeline.mapping) export_path
+
+let resolve_fuzzy catalog text =
+  let exact = Pmi_portmap.Mapping_io.resolver catalog in
+  match exact text with
+  | Some s -> Some s
+  | None ->
+    (* Fall back to the first scheme whose rendering starts with the
+       given prefix, e.g. "vpaddd" or "add <GPR[32]". *)
+    Array.find_opt
+      (fun s ->
+         let name = Scheme.name s in
+         String.length name >= String.length text
+         && String.sub name 0 (String.length text) = text)
+      (Catalog.schemes catalog)
+
+let analyze_block insns reduced seed =
+  let harness = make_harness ~reduced ~seed in
+  let machine = Harness.machine harness in
+  let catalog = Machine.catalog machine in
+  let mapping =
+    if Sys.file_exists export_path then begin
+      let ic = open_in export_path in
+      let result =
+        Pmi_portmap.Mapping_io.read
+          ~resolve:(Pmi_portmap.Mapping_io.resolver catalog) ic
+      in
+      close_in ic;
+      match result with
+      | Ok m ->
+        Format.printf "using the inferred mapping from %s@." export_path;
+        m
+      | Error e ->
+        Format.eprintf "%s:%d: %s; falling back to documented mapping@."
+          export_path e.Pmi_portmap.Mapping_io.line
+          e.Pmi_portmap.Mapping_io.message;
+        Machine.ground_truth machine
+    end
+    else begin
+      Format.printf
+        "no %s (run `pmi_repro export` first); using the documented mapping@."
+        export_path;
+      Machine.ground_truth machine
+    end
+  in
+  let insns =
+    if insns <> [] then insns
+    else [ "add <GPR[32]>, <GPR[32]>"; "add <GPR[32]>, <GPR[32]>";
+           "vpaddd"; "vminps"; "mov <GPR[32]>, <MEM[32]>" ]
+  in
+  let schemes =
+    List.map
+      (fun text ->
+         match resolve_fuzzy catalog text with
+         | Some s -> s
+         | None ->
+           Format.eprintf "unknown instruction scheme: %s@." text;
+           exit 2)
+      insns
+  in
+  let block = Pmi_portmap.Experiment.of_list schemes in
+  match Pmi_portmap.Analysis.analyze ~r_max:(Machine.r_max machine) mapping block with
+  | report -> Format.printf "@.%a@." Pmi_portmap.Analysis.pp report
+  | exception Pmi_portmap.Throughput.Unsupported s ->
+    Format.eprintf "the mapping does not cover %s@." (Scheme.name s);
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Report: a markdown summary of the whole study                        *)
+(* ------------------------------------------------------------------ *)
+
+let report reduced seed =
+  let harness, result = run_pipeline ~reduced ~seed in
+  let options =
+    if reduced > 0 then Pmi_eval.Figure5.quick_options
+    else Pmi_eval.Figure5.default_options
+  in
+  let fig =
+    Pmi_eval.Figure5.run ~options harness ~mapping:result.Pipeline.mapping
+  in
+  let path = "REPORT.md" in
+  Pmi_eval.Report.write ~figure5:fig ~harness ~path result;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* Diff: inferred mapping vs the documented ground truth               *)
+(* ------------------------------------------------------------------ *)
+
+let diff reduced seed =
+  let harness, result = run_pipeline ~reduced ~seed in
+  let docs = Machine.ground_truth (Harness.machine harness) in
+  let d = Pmi_portmap.Diff.compute ~left:result.Pipeline.mapping ~right:docs in
+  Format.printf "@.== Inferred mapping vs documented ground truth ==@.";
+  Format.printf "%a" (Pmi_portmap.Diff.pp ~max_rows:25 ()) d;
+  Format.printf
+    "@.(schemes only in the documentation are those the algorithm excluded \
+     or found unstable)@."
+
+(* ------------------------------------------------------------------ *)
+(* Explain: the witness chain behind one scheme's inferred usage        *)
+(* ------------------------------------------------------------------ *)
+
+let explain_scheme insns reduced seed =
+  let harness, result = run_pipeline ~reduced ~seed in
+  let catalog = Machine.catalog (Harness.machine harness) in
+  let blockers = result.Pipeline.blockers in
+  let insns = if insns <> [] then insns else [ "add <GPR[32]>, <MEM[32]>" ] in
+  List.iter
+    (fun text ->
+       match resolve_fuzzy catalog text with
+       | None -> Format.eprintf "unknown instruction scheme: %s@." text
+       | Some scheme ->
+         (match Pmi_core.Port_usage.characterize harness ~blockers scheme with
+          | Pmi_core.Port_usage.Usage { usage; witnesses; postulated; spurious } ->
+            Format.printf "@.%a" Pmi_core.Port_usage.pp_witnesses
+              (scheme, witnesses);
+            Format.printf
+              "conclusion: %s  (counter postulates %d µop%s)%s@."
+              (Mapping.usage_to_string usage) postulated
+              (if postulated = 1 then "" else "s")
+              (if spurious then
+                 "  [microcode-sequencer artefact: counts exceed the counter]"
+               else "")
+          | Pmi_core.Port_usage.Failed f ->
+            Format.printf "%s: outside the port-mapping model (%s)@."
+              (Scheme.name scheme)
+              (match f with
+               | Pmi_core.Port_usage.Unstable e -> "unstable: " ^ e
+               | Pmi_core.Port_usage.Non_integral (p, v) ->
+                 Printf.sprintf "non-integral µop count %.2f on %s" v
+                   (Pmi_portmap.Portset.to_string p))))
+    insns
+
+(* ------------------------------------------------------------------ *)
+(* Everything                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let all reduced seed =
+  (* One pipeline run shared by every table and figure. *)
+  let run = run_pipeline ~reduced ~seed in
+  print_funnel run;
+  print_table1 run;
+  print_table2 run;
+  print_figure5 reduced run
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let reduced =
+  let doc = "Use a reduced catalog with at most $(docv) schemes per bucket \
+             (0 = the full 2,980-scheme catalog)." in
+  Arg.(value & opt int 0 & info [ "reduced" ] ~docv:"N" ~doc)
+
+let seed =
+  let doc = "Measurement-noise seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose =
+  let doc = "Enable informational logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let with_logs f reduced seed verbose =
+  setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  f reduced seed
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (with_logs f) $ reduced $ seed $ verbose)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "pmi_repro" ~doc:"Port-mapping inference reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ cmd "funnel" "Reproduce the §4 case-study funnel" funnel;
+            cmd "table1" "Reproduce Table 1 (blocking classes)" table1;
+            cmd "table2" "Reproduce Table 2 (inferred port usage)" table2;
+            cmd "figure5" "Reproduce Figure 5 (prediction accuracy)" figure5;
+            cmd "all" "Reproduce every table and figure" all;
+            cmd "export" "Infer the port mapping and write it to a file" export;
+            cmd "diff" "Compare the inferred mapping with the documentation" diff;
+            cmd "report" "Write a markdown report of the whole study" report;
+            (let insns =
+               let doc = "Instruction scheme (name or unique prefix); repeatable." in
+               Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
+             in
+             Cmd.v
+               (Cmd.info "analyze"
+                  ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
+               Term.(const (fun insns reduced seed verbose ->
+                   with_logs (analyze_block insns) reduced seed verbose)
+                     $ insns $ reduced $ seed $ verbose));
+            (let insns =
+               let doc = "Instruction scheme (name or unique prefix); repeatable." in
+               Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
+             in
+             Cmd.v
+               (Cmd.info "explain"
+                  ~doc:"Show the explanatory microbenchmarks behind a scheme's \
+                        inferred port usage")
+               Term.(const (fun insns reduced seed verbose ->
+                   with_logs (explain_scheme insns) reduced seed verbose)
+                     $ insns $ reduced $ seed $ verbose)) ]))

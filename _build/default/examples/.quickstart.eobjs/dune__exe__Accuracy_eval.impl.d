@@ -1,0 +1,1 @@
+examples/accuracy_eval.ml: Format Pmi_core Pmi_eval Pmi_isa Pmi_machine Pmi_measure

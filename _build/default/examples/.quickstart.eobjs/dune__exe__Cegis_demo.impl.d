@@ -1,0 +1,1 @@
+examples/cegis_demo.ml: Catalog Cegis Encoding Experiment Format Iclass List Mapping Operand Pmi_core Pmi_isa Pmi_numeric Pmi_portmap Portset

@@ -1,0 +1,1 @@
+examples/cegis_demo.mli:

@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Catalog Experiment Format Iclass List Mapping Operand Pmi_isa Pmi_machine Pmi_numeric Pmi_portmap Portset Scheme Throughput

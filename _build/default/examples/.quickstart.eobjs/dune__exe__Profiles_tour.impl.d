@@ -1,0 +1,1 @@
+examples/profiles_tour.ml: Catalog Format List Pmi_core Pmi_isa Pmi_machine Pmi_measure Pmi_portmap Scheme String

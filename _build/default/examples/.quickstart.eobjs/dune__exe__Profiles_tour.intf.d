@@ -1,0 +1,1 @@
+examples/profiles_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Cegis Encoding Experiment Format Iclass Mapping Operand Pmi_core Pmi_isa Pmi_numeric Pmi_portmap Portset Throughput

@@ -1,0 +1,1 @@
+examples/zenplus_inference.ml: Catalog Format List Pmi_core Pmi_isa Pmi_machine Pmi_measure Pmi_portmap Scheme

@@ -1,0 +1,1 @@
+examples/zenplus_inference.mli:

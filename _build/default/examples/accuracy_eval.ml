@@ -1,0 +1,26 @@
+(* Figure 5 on a reduced catalog: infer a port mapping, train the PMEvo and
+   Palmed baselines, and compare IPC prediction accuracy on random basic
+   blocks (metrics table + predicted-vs-measured heatmaps).
+
+     dune exec examples/accuracy_eval.exe
+
+   The paper-scale evaluation (5,000 blocks over 577 schemes) is
+   `pmi_repro figure5`. *)
+
+module Machine = Pmi_machine.Machine
+module Harness = Pmi_measure.Harness
+module Pipeline = Pmi_core.Pipeline
+module Figure5 = Pmi_eval.Figure5
+
+let () =
+  let catalog = Pmi_isa.Catalog.reduced ~per_bucket:4 () in
+  let harness = Harness.create (Machine.create catalog) in
+  Format.printf "inferring the port mapping (%d schemes)...@."
+    (Pmi_isa.Catalog.size catalog);
+  let result = Pipeline.run harness in
+  Format.printf "evaluating against PMEvo and Palmed...@.@.";
+  let fig =
+    Figure5.run ~options:Figure5.quick_options harness
+      ~mapping:result.Pipeline.mapping
+  in
+  Format.printf "%a@." Figure5.pp fig

@@ -1,0 +1,58 @@
+(* The Figure 4 example: two single-µop instructions whose singleton
+   measurements admit several port mappings; the counter-example-guided
+   loop proposes the distinguishing experiment [iA, iB] and converges.
+
+     dune exec examples/cegis_demo.exe
+*)
+
+open Pmi_isa
+open Pmi_portmap
+open Pmi_core
+module Rat = Pmi_numeric.Rat
+
+let () =
+  let catalog =
+    Catalog.of_list
+      [ ("iA", [ Operand.gpr 32 ], Iclass.plain (Iclass.Single Iclass.Alu));
+        ("iB", [ Operand.gpr 32 ], Iclass.plain (Iclass.Single Iclass.Alu)) ]
+  in
+  let ia = Catalog.find catalog 0 in
+  let ib = Catalog.find catalog 1 in
+
+  (* The hidden truth is Figure 4(b): both µops share port p1. *)
+  let truth = Mapping.create ~num_ports:2 in
+  Mapping.set truth ia [ (Portset.singleton 0, 1) ];
+  Mapping.set truth ib [ (Portset.singleton 0, 1) ];
+
+  let config =
+    { Cegis.default_config with
+      Cegis.num_ports = 2; r_max = 3; max_experiment_size = 3 }
+  in
+  let log = ref [] in
+  let measure e =
+    let t = Cegis.modeled_inverse config truth e in
+    log := (e, t) :: !log;
+    t
+  in
+  let specs = [ (ia, Encoding.Proper 1); (ib, Encoding.Proper 1) ] in
+  match Cegis.infer ~config ~measure ~specs () with
+  | Cegis.Converged (m, stats) ->
+    Format.printf "Measured experiments (in order):@.";
+    List.iter
+      (fun (e, t) ->
+         Format.printf "  %-24s -> %s cycles@." (Experiment.to_string e)
+           (Rat.to_string t))
+      (List.rev !log);
+    Format.printf
+      "@.The singleton experiments allow both Figure 4(a) and 4(b); the \
+       loop distinguishes them with [1 x iA; 1 x iB] (2.0 cycles on the \
+       shared port, 1.0 on disjoint ports).@.";
+    Format.printf "@.Inferred after %d iterations:@.%a@." stats.Cegis.iterations
+      Mapping.pp m;
+    let e = Experiment.of_list [ ia; ib ] in
+    Format.printf "tp⁻¹([iA, iB]) under the inferred mapping: %s (truth: %s)@."
+      (Rat.to_string (Cegis.modeled_inverse config m e))
+      (Rat.to_string (Cegis.modeled_inverse config truth e))
+  | Cegis.No_consistent_mapping _ | Cegis.Iteration_limit _ ->
+    prerr_endline "unexpected: Figure 4 inference failed";
+    exit 1

@@ -1,0 +1,55 @@
+(* Portability tour (§3.5): run the same inference, unchanged, against a
+   different simulated microarchitecture — here the Zen3-like profile with
+   its 6-wide frontend — and compare the inferred blocking mapping with
+   that machine's documentation.
+
+     dune exec examples/profiles_tour.exe
+*)
+
+open Pmi_isa
+module Mapping = Pmi_portmap.Mapping
+module Machine = Pmi_machine.Machine
+module Profile = Pmi_machine.Profile
+module Harness = Pmi_measure.Harness
+module Pipeline = Pmi_core.Pipeline
+module Blocking = Pmi_core.Blocking
+
+let () =
+  let profile = Profile.zen3 in
+  Format.printf "profile %s: %d ports, %d IPC frontend, widest µop %d ports@."
+    profile.Profile.name profile.Profile.num_ports profile.Profile.r_max
+    (Profile.max_port_set profile);
+  let catalog = Catalog.reduced ~per_bucket:3 () in
+  let machine = Machine.create ~profile catalog in
+  let harness = Harness.create machine in
+  Format.printf "running the pipeline on %d schemes...@." (Catalog.size catalog);
+  let result = Pipeline.run harness in
+  let docs = Machine.ground_truth machine in
+  Format.printf "@.%-44s %-22s %s@." "Blocking instruction" "Documented"
+    "Inferred";
+  List.iter
+    (fun k ->
+       let rep = k.Blocking.representative in
+       if
+         not
+           (List.exists
+              (fun r -> Scheme.equal r.Blocking.representative rep)
+              result.Pipeline.removed_classes)
+       then begin
+         let show m =
+           match Mapping.find_opt m rep with
+           | Some u -> Mapping.usage_to_string u
+           | None -> "-"
+         in
+         Format.printf "%-44s %-22s %s@." (Scheme.name rep) (show docs)
+           (show result.Pipeline.blocker_mapping)
+       end)
+    result.Pipeline.filtering.Blocking.classes;
+  Format.printf "@.excluded as anomalies: %s@."
+    (String.concat ", "
+       (List.map
+          (fun k -> Scheme.name k.Blocking.representative)
+          result.Pipeline.removed_classes));
+  let d = Pmi_portmap.Diff.compute ~left:result.Pipeline.mapping ~right:docs in
+  Format.printf "@.final mapping vs documentation: %a"
+    (Pmi_portmap.Diff.pp ~max_rows:5 ()) d

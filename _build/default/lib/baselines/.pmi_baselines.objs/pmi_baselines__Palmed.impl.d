@@ -1,0 +1,1 @@
+lib/baselines/palmed.ml: Array Float Hashtbl List Pmi_isa Pmi_machine Pmi_measure Pmi_numeric Pmi_portmap Printf

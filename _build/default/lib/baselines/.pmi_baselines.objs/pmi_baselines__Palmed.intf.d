@@ -1,0 +1,1 @@
+lib/baselines/palmed.mli: Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap

@@ -1,0 +1,1 @@
+lib/baselines/pmevo.ml: Array Float Fun Hashtbl List Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap Rng

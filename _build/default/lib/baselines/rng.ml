@@ -1,0 +1,30 @@
+type t = { mutable state : int }
+
+let create ~seed = { state = seed lxor 0x2545F4914F6CDD1D }
+
+let next t =
+  (* splitmix-style step on 62 usable bits. *)
+  t.state <- (t.state + 0x61C8864680B583EB) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x4be98134a5976fd3 land max_int in
+  let z = (z lxor (z lsr 29)) * 0x3bc8203a9c2b4eab land max_int in
+  z lxor (z lsr 32)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  next t mod bound
+
+let float t = float_of_int (next t land 0xFFFFFFFF) /. 4294967296.0
+let bool t = next t land 1 = 1
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

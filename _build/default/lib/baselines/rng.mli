@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers for the baselines.
+
+    Both baselines must be reproducible run-to-run (the whole repository is
+    deterministic), so they use an explicit splitmix-style generator instead
+    of the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val pick : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+lib/core/blocking.ml: Array Float Fun Hashtbl List Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap Uop_count

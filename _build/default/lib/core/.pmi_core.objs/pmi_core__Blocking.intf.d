@@ -1,0 +1,1 @@
+lib/core/blocking.mli: Pmi_isa Pmi_measure Pmi_numeric

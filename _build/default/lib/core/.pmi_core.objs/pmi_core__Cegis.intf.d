@@ -1,0 +1,1 @@
+lib/core/cegis.mli: Encoding Pmi_isa Pmi_numeric Pmi_portmap

@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Array Card List Lit Pmi_isa Pmi_portmap Pmi_smt Sat

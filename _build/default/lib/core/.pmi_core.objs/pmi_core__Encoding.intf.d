@@ -1,0 +1,1 @@
+lib/core/encoding.mli: Pmi_isa Pmi_portmap Pmi_smt

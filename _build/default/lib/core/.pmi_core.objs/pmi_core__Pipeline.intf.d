@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Blocking Cegis Format Pmi_isa Pmi_measure Pmi_portmap Port_usage Relabel

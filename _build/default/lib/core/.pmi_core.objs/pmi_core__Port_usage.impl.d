@@ -1,0 +1,1 @@
+lib/core/port_usage.ml: Float Format List Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap Uop_count

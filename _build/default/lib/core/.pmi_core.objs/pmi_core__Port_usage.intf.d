@@ -1,0 +1,1 @@
+lib/core/port_usage.mli: Format Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap

@@ -1,0 +1,1 @@
+lib/core/relabel.ml: Array Fun Hashtbl List Pmi_isa Pmi_portmap

@@ -1,0 +1,1 @@
+lib/core/relabel.mli: Pmi_isa Pmi_portmap

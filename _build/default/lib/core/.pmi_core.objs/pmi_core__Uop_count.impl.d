@@ -1,0 +1,1 @@
+lib/core/uop_count.ml: Float List Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap

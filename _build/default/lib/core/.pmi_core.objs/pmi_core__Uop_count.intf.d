@@ -1,0 +1,1 @@
+lib/core/uop_count.mli: Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap

@@ -1,0 +1,1 @@
+lib/core/uops_info.ml: Array Float Hashtbl List Pmi_isa Pmi_machine Pmi_numeric Pmi_portmap

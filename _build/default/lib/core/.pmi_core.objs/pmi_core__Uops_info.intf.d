@@ -1,0 +1,1 @@
+lib/core/uops_info.mli: Pmi_isa Pmi_machine Pmi_portmap

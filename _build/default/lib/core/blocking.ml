@@ -1,0 +1,306 @@
+module Rat = Pmi_numeric.Rat
+module Scheme = Pmi_isa.Scheme
+module Experiment = Pmi_portmap.Experiment
+module Harness = Pmi_measure.Harness
+
+type config = {
+  epsilon : Rat.t;
+  spread_threshold : float;
+  port_tolerance : float;
+  max_ports : int;
+  r_max : int;
+}
+
+let default_config =
+  { epsilon = Harness.Compare.default_epsilon;
+    spread_threshold = 0.04;
+    port_tolerance = 0.12;
+    max_ports = 4;
+    r_max = 5 }
+
+type individual =
+  | Hardwired
+  | Unreliable
+  | Zero_uop
+  | Outside_model
+  | Candidate of int
+  | Multi_uop of int
+
+let has_hardwired_operand scheme =
+  List.exists
+    (fun op ->
+       match op.Pmi_isa.Operand.kind with
+       | Pmi_isa.Operand.Gpr_high -> true
+       | Pmi_isa.Operand.Gpr _ | Pmi_isa.Operand.Vec _ | Pmi_isa.Operand.Mem _
+       | Pmi_isa.Operand.Imm _ -> false)
+    (Pmi_isa.Scheme.operands scheme)
+
+let classify_individual ?(config = default_config) harness scheme =
+  if has_hardwired_operand scheme then Hardwired
+  else begin
+  let sample = Harness.run harness (Experiment.singleton scheme) in
+  if sample.Harness.spread_cpi > config.spread_threshold then Unreliable
+  else begin
+    let postulated = Uop_count.postulated_uops harness scheme in
+    let cycles = Rat.to_float sample.Harness.cycles in
+    if cycles > float_of_int (max postulated 1) +. config.port_tolerance then
+      (* No port mapping over [postulated] µops can be this slow: the
+         divider-style non-pipelined schemes of §4.1.2. *)
+      Outside_model
+    else if postulated >= 2 then Multi_uop postulated
+    else begin
+      let throughput = 1.0 /. Rat.to_float sample.Harness.cycles in
+      if throughput >= float_of_int config.r_max -. config.port_tolerance then
+        (* Streams at the frontend limit: no port usage to observe. *)
+        Zero_uop
+      else begin
+        let n = int_of_float (Float.round throughput) in
+        if
+          n >= 1 && n <= config.max_ports
+          && Float.abs (throughput -. float_of_int n) <= config.port_tolerance
+        then Candidate n
+        else Outside_model
+      end
+    end
+  end
+  end
+
+type klass = {
+  port_count : int;
+  representative : Scheme.t;
+  members : Scheme.t list;
+}
+
+type filtering = {
+  classes : klass list;
+  unstable : Scheme.t list;
+  contradictory : Scheme.t list;
+}
+
+type pair_result = Additive | Not_additive | Unstable_pair
+
+let measure_pair config harness i j =
+  let sample = Harness.run harness (Experiment.of_list [ i; j ]) in
+  if sample.Harness.spread_cpi > config.spread_threshold then Unstable_pair
+  else begin
+    let ti = Harness.cycles harness (Experiment.singleton i) in
+    let tj = Harness.cycles harness (Experiment.singleton j) in
+    if
+      Harness.Compare.cpi_equal ~epsilon:config.epsilon ~length:2
+        sample.Harness.cycles (Rat.add ti tj)
+    then Additive
+    else Not_additive
+  end
+
+let additive ?(config = default_config) harness i j =
+  measure_pair config harness i j = Additive
+
+(* Union-find over array indices. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri <> rj then parent.(ri) <- rj
+
+(* Process one group of candidates that share a port-set size. *)
+let process_group config harness group =
+  let members = Array.of_list group in
+  let n = Array.length members in
+  let adjacency = Array.make_matrix n n false in
+  let unstable_pair = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match measure_pair config harness members.(i) members.(j) with
+      | Additive ->
+        adjacency.(i).(j) <- true;
+        adjacency.(j).(i) <- true
+      | Not_additive -> ()
+      | Unstable_pair ->
+        unstable_pair.(i).(j) <- true;
+        unstable_pair.(j).(i) <- true
+    done
+  done;
+  (* A candidate whose pairings are mostly unstable cannot be trusted.
+     Unstable schemes destabilise every pairing, including those of
+     innocent partners, so the exclusion peels greedily: drop the worst
+     destabiliser, discount its pairings, repeat.  A small group of adds
+     measured against as many cmovs keeps its adds this way. *)
+  let alive = Array.make n true in
+  let unstable = ref [] in
+  let rec peel () =
+    let count i =
+      let c = ref 0 and total = ref 0 in
+      for j = 0 to n - 1 do
+        if j <> i && alive.(j) then begin
+          incr total;
+          if unstable_pair.(i).(j) then incr c
+        end
+      done;
+      (!c, !total)
+    in
+    let worst = ref (-1) in
+    let worst_count = ref 0 in
+    for i = 0 to n - 1 do
+      if alive.(i) then begin
+        let c, total = count i in
+        if total > 0 && 2 * c > total && c > !worst_count then begin
+          worst := i;
+          worst_count := c
+        end
+      end
+    done;
+    if !worst >= 0 then begin
+      alive.(!worst) <- false;
+      unstable := members.(!worst) :: !unstable;
+      peel ()
+    end
+  in
+  peel ();
+  (* Triangle offenders: additive with two candidates that are not additive
+     with each other (the fma phenomenon, §4.2).  Repeatedly drop every
+     candidate involved in strictly more conflict triangles than its
+     neighbours until the additivity relation is transitive. *)
+  let contradictory = ref [] in
+  let rec prune () =
+    let triangles = Array.make n 0 in
+    let any = ref false in
+    for s = 0 to n - 1 do
+      if alive.(s) then begin
+        let neighbours =
+          List.filter (fun k -> k <> s && alive.(k) && adjacency.(s).(k))
+            (List.init n Fun.id)
+        in
+        List.iteri
+          (fun idx i ->
+             List.iteri
+               (fun jdx j ->
+                  if jdx > idx && not adjacency.(i).(j) then begin
+                    triangles.(s) <- triangles.(s) + 1;
+                    any := true
+                  end)
+               neighbours)
+          neighbours
+      end
+    done;
+    if !any then begin
+      (* Drop the primary offenders: everything within a factor of two of
+         the worst triangle count.  Connector schemes like fma sit in vastly
+         more conflict triangles than the classes they bridge, so this
+         removes a whole family per round and converges quickly. *)
+      let worst = Array.fold_left max 0 triangles in
+      for s = 0 to n - 1 do
+        if alive.(s) && 2 * triangles.(s) > worst then begin
+          alive.(s) <- false;
+          contradictory := members.(s) :: !contradictory
+        end
+      done;
+      prune ()
+    end
+  in
+  prune ();
+  (* Equivalence classes are the connected components of what is now a
+     disjoint union of cliques. *)
+  let parent = Array.init n Fun.id in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if alive.(i) && alive.(j) && adjacency.(i).(j) then union parent i j
+    done
+  done;
+  let classes = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    if alive.(i) then begin
+      let root = find parent i in
+      let existing = try Hashtbl.find classes root with Not_found -> [] in
+      Hashtbl.replace classes root (members.(i) :: existing)
+    end
+  done;
+  let class_list =
+    Hashtbl.fold (fun _ ms acc -> List.rev ms :: acc) classes []
+  in
+  (class_list, List.rev !unstable, List.rev !contradictory)
+
+let default_preference =
+  [ "add"; "vpor"; "vpaddd"; "vminps"; "vbroadcastss"; "vpaddsw"; "vaddps";
+    "mov"; "vpslld"; "vpmuldq"; "imul"; "vroundps"; "vmovd" ]
+
+let representative_key prefer scheme =
+  let mnemonic_rank =
+    let rec go i = function
+      | [] -> List.length prefer
+      | m :: rest -> if m = Scheme.mnemonic scheme then i else go (i + 1) rest
+    in
+    go 0 prefer
+  in
+  let width_rank =
+    (* Prefer the 32-bit / plain-XMM forms the paper's Table 1 displays. *)
+    let ops = Scheme.operands scheme in
+    let has32 =
+      List.exists
+        (fun op ->
+           match op.Pmi_isa.Operand.kind with
+           | Pmi_isa.Operand.Gpr 32 | Pmi_isa.Operand.Vec 128
+           | Pmi_isa.Operand.Mem 32 -> true
+           | Pmi_isa.Operand.Gpr _ | Pmi_isa.Operand.Gpr_high
+           | Pmi_isa.Operand.Vec _ | Pmi_isa.Operand.Mem _
+           | Pmi_isa.Operand.Imm _ -> false)
+        ops
+    in
+    if has32 then 0 else 1
+  in
+  (mnemonic_rank, width_rank, Scheme.id scheme)
+
+let filter_candidates ?(config = default_config) ?(prefer = default_preference)
+    harness candidates =
+  (* Candidates can only be redundant when their port sets have equal size,
+     so the pairing stage works one size group at a time. *)
+  let by_count = Hashtbl.create 8 in
+  List.iter
+    (fun (scheme, count) ->
+       let existing = try Hashtbl.find by_count count with Not_found -> [] in
+       Hashtbl.replace by_count count (scheme :: existing))
+    candidates;
+  let groups =
+    Hashtbl.fold (fun count ms acc -> (count, List.rev ms) :: acc) by_count []
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  let classes = ref [] in
+  let unstable = ref [] in
+  let contradictory = ref [] in
+  List.iter
+    (fun (count, group) ->
+       let class_members, uns, contra = process_group config harness group in
+       unstable := !unstable @ uns;
+       contradictory := !contradictory @ contra;
+       List.iter
+         (fun members ->
+            let representative =
+              List.fold_left
+                (fun best s ->
+                   if representative_key prefer s < representative_key prefer best
+                   then s
+                   else best)
+                (List.hd members) members
+            in
+            classes := { port_count = count; representative; members } :: !classes)
+         class_members)
+    groups;
+  let classes =
+    List.sort
+      (fun a b ->
+         match compare b.port_count a.port_count with
+         | 0 -> compare (Scheme.id a.representative) (Scheme.id b.representative)
+         | c -> c)
+      !classes
+  in
+  { classes; unstable = !unstable; contradictory = !contradictory }

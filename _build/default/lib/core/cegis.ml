@@ -1,0 +1,271 @@
+module Rat = Pmi_numeric.Rat
+module Scheme = Pmi_isa.Scheme
+module Experiment = Pmi_portmap.Experiment
+module Mapping = Pmi_portmap.Mapping
+module Throughput = Pmi_portmap.Throughput
+module Solver = Pmi_smt.Solver
+
+let log = Logs.Src.create "pmi.cegis" ~doc:"counter-example-guided inference"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type config = {
+  num_ports : int;
+  r_max : int;
+  epsilon : Rat.t;
+  max_experiment_size : int;
+  max_other_candidates : int;
+  max_iterations : int;
+  symmetry_breaking : bool;
+}
+
+let default_config =
+  { num_ports = 10;
+    r_max = 5;
+    epsilon = Rat.of_ints 2 100;
+    max_experiment_size = 5;
+    max_other_candidates = 400;
+    max_iterations = 400;
+    symmetry_breaking = true }
+
+type observation = {
+  experiment : Experiment.t;
+  cycles : Rat.t;
+}
+
+type stats = {
+  iterations : int;
+  observations : observation list;
+  candidates_tried : int;
+  theory_lemmas : int;
+}
+
+type outcome =
+  | Converged of Mapping.t * stats
+  | No_consistent_mapping of stats
+  | Iteration_limit of stats
+
+let modeled_inverse config mapping experiment =
+  Throughput.inverse_bounded ~r_max:config.r_max mapping experiment
+
+let consistent config mapping obs =
+  let modeled = modeled_inverse config mapping obs.experiment in
+  Pmi_measure.Harness.Compare.cpi_equal ~epsilon:config.epsilon
+    ~length:(Experiment.length obs.experiment) modeled obs.cycles
+
+(* Theory check: decode the SAT model, evaluate every observation, and
+   learn a footprint lemma for each violated one.  Lemmas are collected in
+   [pool] so that later encodings (deterministic variable numbering) can be
+   seeded with everything already learned. *)
+let theory_check config encoding observations pool model =
+  let mapping = Encoding.decode encoding model in
+  let lemmas =
+    List.filter_map
+      (fun obs ->
+         if consistent config mapping obs then None
+         else begin
+           let lemma =
+             Encoding.block_footprint encoding model
+               (Experiment.schemes obs.experiment)
+           in
+           Some lemma
+         end)
+      observations
+  in
+  pool := !pool @ lemmas;
+  lemmas
+
+let fresh_encoding config specs pool =
+  let encoding =
+    Encoding.create ~num_ports:config.num_ports
+      ~symmetry_breaking:config.symmetry_breaking specs
+  in
+  List.iter (Pmi_smt.Sat.add_clause (Encoding.sat encoding)) !pool;
+  encoding
+
+let find_mapping config encoding observations pool =
+  let check = theory_check config encoding observations pool in
+  match Solver.solve ~check (Encoding.sat encoding) with
+  | Solver.Sat model -> Some (Encoding.decode encoding model)
+  | Solver.Unsat -> None
+
+(* Multisets of the given schemes, enumerated in order of increasing size
+   (the stratified search of §3.3.4), smallest first. *)
+let iter_experiments schemes ~max_size f =
+  let schemes = Array.of_list schemes in
+  let n = Array.length schemes in
+  let rec fill size start acc =
+    if size = 0 then f (Experiment.of_counts acc)
+    else
+      for i = start to n - 1 do
+        (* Give scheme i between 1 and [size] copies, then recurse on the
+           remaining schemes with the remaining size budget. *)
+        let rec with_count c =
+          if c <= size then begin
+            fill (size - c) (i + 1) ((schemes.(i), c) :: acc);
+            with_count (c + 1)
+          end
+        in
+        with_count 1
+      done
+  in
+  let rec sizes s =
+    if s <= max_size then begin
+      fill s 0 [];
+      sizes (s + 1)
+    end
+  in
+  sizes 1
+
+exception Found of Experiment.t
+
+let distinguishing_experiment config m1 m2 schemes =
+  let sep = Pmi_measure.Harness.Compare.well_separated ~epsilon:config.epsilon in
+  match
+    iter_experiments schemes ~max_size:config.max_experiment_size (fun e ->
+        let t1 = modeled_inverse config m1 e in
+        let t2 = modeled_inverse config m2 e in
+        if sep ~length:(Experiment.length e) t1 t2 then raise (Found e))
+  with
+  | () -> None
+  | exception Found e -> Some e
+
+let same_mapping specs m1 m2 =
+  List.for_all
+    (fun (scheme, _) ->
+       match (Mapping.find_opt m1 scheme, Mapping.find_opt m2 scheme) with
+       | Some a, Some b -> Mapping.equal_usage a b
+       | (None | Some _), _ -> false)
+    specs
+
+let find_other_mapping config specs observations pool m1 tried_counter =
+  let encoding = fresh_encoding config specs pool in
+  let sat = Encoding.sat encoding in
+  let check = theory_check config encoding observations pool in
+  let schemes = List.map fst specs in
+  let rec search budget =
+    if budget = 0 then begin
+      Log.warn (fun m ->
+          m "findOtherMapping: candidate budget exhausted; treating as converged");
+      None
+    end
+    else begin
+      match Solver.solve ~check sat with
+      | Solver.Unsat -> None
+      | Solver.Sat model ->
+        incr tried_counter;
+        let m2 = Encoding.decode encoding model in
+        if same_mapping specs m1 m2 then begin
+          Pmi_smt.Sat.add_clause sat (Encoding.block_model encoding model);
+          search (budget - 1)
+        end
+        else begin
+          match distinguishing_experiment config m1 m2 schemes with
+          | Some e -> Some (m2, e)
+          | None ->
+            (* Indistinguishable within the experiment bound: block this
+               candidate for the remainder of the call (§3.3.4). *)
+            Pmi_smt.Sat.add_clause sat (Encoding.block_model encoding model);
+            search (budget - 1)
+        end
+    end
+  in
+  search config.max_other_candidates
+
+(* Canonical flooding experiments used to validate a converged mapping:
+   [c×j, i] and [2c×j, i] for every c-port blocking instruction j and every
+   instruction i.  The distinguishing-experiment search only measures what
+   separates two {e consistent} mappings, so measurements that refute the
+   whole model class (the §4.3 anomalies) can stay unobserved; sweeping the
+   canonical experiments before declaring convergence closes that gap. *)
+let validation_experiments specs =
+  let proper =
+    List.filter_map
+      (fun (s, spec) ->
+         match spec with
+         | Encoding.Proper c -> Some (s, c)
+         | Encoding.Improper _ -> None)
+      specs
+  in
+  let all = List.map fst specs in
+  List.concat_map
+    (fun (j, c) ->
+       List.concat_map
+         (fun i ->
+            [ Experiment.add i (Experiment.replicate c j);
+              Experiment.add i (Experiment.replicate (2 * c) j) ])
+         all)
+    proper
+  |> List.sort_uniq Experiment.compare
+
+let explain ?(config = default_config) ~specs ~observations () =
+  let pool = ref [] in
+  let encoding = fresh_encoding config specs pool in
+  find_mapping config encoding observations pool
+
+let infer ?(config = default_config) ~measure ~specs () =
+  let pool = ref [] in
+  let observations = ref [] in
+  let observe experiment =
+    let cycles = measure experiment in
+    let obs = { experiment; cycles } in
+    observations := !observations @ [ obs ];
+    obs
+  in
+  List.iter (fun (s, _) -> ignore (observe (Experiment.singleton s))) specs;
+  let fm_encoding = fresh_encoding config specs pool in
+  let tried = ref 0 in
+  let finish mk =
+    mk
+      { iterations = 0;
+        observations = !observations;
+        candidates_tried = !tried;
+        theory_lemmas = List.length !pool }
+  in
+  let sweep = validation_experiments specs in
+  let validate m1 =
+    (* The first sweep experiment the converged mapping fails to explain;
+       [None] means the convergence is confirmed.  Only one refutation is
+       reported per round so that an UNSAT can be traced to a single
+       observation (the §4.3 culprit search depends on that). *)
+    List.find_opt
+      (fun e ->
+         if List.exists (fun o -> Experiment.equal o.experiment e) !observations
+         then false
+         else begin
+           let cycles = measure e in
+           not
+             (Pmi_measure.Harness.Compare.cpi_equal ~epsilon:config.epsilon
+                ~length:(Experiment.length e) (modeled_inverse config m1 e)
+                cycles)
+         end)
+      sweep
+  in
+  let rec loop iteration =
+    if iteration > config.max_iterations then
+      finish (fun s -> Iteration_limit { s with iterations = iteration - 1 })
+    else begin
+      match find_mapping config fm_encoding !observations pool with
+      | None -> finish (fun s -> No_consistent_mapping { s with iterations = iteration })
+      | Some m1 ->
+        (match find_other_mapping config specs !observations pool m1 tried with
+         | None ->
+           (match validate m1 with
+            | None -> finish (fun s -> Converged (m1, { s with iterations = iteration }))
+            | Some failure ->
+              Log.info (fun m ->
+                  m "iteration %d: validation experiment %s refutes the \
+                     converged mapping" iteration (Experiment.to_string failure));
+              ignore (observe failure);
+              loop (iteration + 1))
+         | Some (_, new_exp) ->
+           let obs = observe new_exp in
+           Log.info (fun m ->
+               m "iteration %d: new experiment %s measured at %s cycles"
+                 iteration
+                 (Experiment.to_string new_exp)
+                 (Rat.to_string obs.cycles));
+           loop (iteration + 1))
+    end
+  in
+  loop 1

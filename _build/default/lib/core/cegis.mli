@@ -1,0 +1,77 @@
+(** Counter-example-guided port-mapping inference (§3.3, Algorithm 2).
+
+    The loop maintains a set of measured experiments.  [find_mapping]
+    searches a port mapping consistent with every measurement (SAT modulo
+    the port-mapping theory: candidate mappings decoded from SAT models are
+    checked against the observations with the exact throughput oracle under
+    the §3.4 frontend bound; every violated observation yields a footprint
+    lemma).  [find_other_mapping] searches a second consistent mapping
+    together with a distinguishing experiment, trying small experiments
+    first (the stratified search of §3.3.4) and requiring the 2ε separation
+    that makes one measurement able to refute one of the two mappings.
+
+    Termination mirrors the paper's argument: every candidate mapping a
+    [find_other_mapping] call produces is either returned with a
+    distinguishing experiment (and one of the two mappings dies with the
+    next measurement) or permanently blocked within the call. *)
+
+type config = {
+  num_ports : int;
+  r_max : int;
+  epsilon : Pmi_numeric.Rat.t;
+  max_experiment_size : int;   (** stratified distinguishing-experiment bound *)
+  max_other_candidates : int;  (** consistent-mapping candidates examined per
+                                   [find_other_mapping] call before declaring
+                                   convergence *)
+  max_iterations : int;        (** Algorithm-2 iteration budget *)
+  symmetry_breaking : bool;
+}
+
+val default_config : config
+
+type observation = {
+  experiment : Pmi_portmap.Experiment.t;
+  cycles : Pmi_numeric.Rat.t;
+}
+
+type stats = {
+  iterations : int;
+  observations : observation list;  (** every measured experiment, in order *)
+  candidates_tried : int;           (** mappings examined by
+                                        [find_other_mapping] overall *)
+  theory_lemmas : int;
+}
+
+type outcome =
+  | Converged of Pmi_portmap.Mapping.t * stats
+  | No_consistent_mapping of stats
+  | Iteration_limit of stats
+
+val modeled_inverse :
+  config -> Pmi_portmap.Mapping.t -> Pmi_portmap.Experiment.t ->
+  Pmi_numeric.Rat.t
+(** Throughput of the port-mapping model combined with the [r_max] frontend
+    bound of §3.4. *)
+
+val consistent :
+  config -> Pmi_portmap.Mapping.t -> observation -> bool
+(** Does the mapping explain the observation within ε·|e|? *)
+
+val infer :
+  ?config:config ->
+  measure:(Pmi_portmap.Experiment.t -> Pmi_numeric.Rat.t) ->
+  specs:(Pmi_isa.Scheme.t * Encoding.instr_spec) list ->
+  unit ->
+  outcome
+(** Run Algorithm 2.  [measure] performs one steady-state benchmark; the
+    initial experiment set is the singleton benchmark of every scheme. *)
+
+val explain :
+  ?config:config ->
+  specs:(Pmi_isa.Scheme.t * Encoding.instr_spec) list ->
+  observations:observation list ->
+  unit ->
+  Pmi_portmap.Mapping.t option
+(** One standalone [findMapping] call: a mapping over [specs] consistent
+    with the observations, if any.  Used for the §4.3 culprit search when
+    the full inference reports UNSAT. *)

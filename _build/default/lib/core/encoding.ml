@@ -1,0 +1,231 @@
+open Pmi_smt
+module Scheme = Pmi_isa.Scheme
+module Portset = Pmi_portmap.Portset
+module Mapping = Pmi_portmap.Mapping
+
+type instr_spec =
+  | Proper of int
+  | Improper of { own_ports : int }
+
+type row = {
+  scheme : Scheme.t;
+  spec : instr_spec;
+  own : int array;             (* own µop variables, one per port *)
+  shared : int array;          (* improper only: shared µop variables *)
+  selectors : int array;       (* improper only: one per proper instr *)
+}
+
+type t = {
+  solver : Sat.t;
+  num_ports : int;
+  rows : row array;
+}
+
+let sat t = t.solver
+let num_ports t = t.num_ports
+let schemes t = Array.to_list (Array.map (fun r -> (r.scheme, r.spec)) t.rows)
+
+let create ~num_ports ?(symmetry_breaking = true) specs =
+  if num_ports <= 0 then invalid_arg "Encoding.create: num_ports";
+  let solver = Sat.create () in
+  let fresh_row () = Array.init num_ports (fun _ -> Sat.fresh_var solver) in
+  let proper_indices =
+    List.filteri (fun _ (_, spec) -> match spec with Proper _ -> true | Improper _ -> false)
+      specs
+    |> List.length
+  in
+  if
+    proper_indices = 0
+    && List.exists (fun (_, s) -> match s with Improper _ -> true | Proper _ -> false) specs
+  then invalid_arg "Encoding.create: improper instruction without proper ones";
+  let rows =
+    Array.of_list
+      (List.map
+         (fun (scheme, spec) ->
+            let check c =
+              if c < 1 || c > num_ports then
+                invalid_arg "Encoding.create: port count out of range"
+            in
+            (match spec with
+             | Proper c -> check c
+             | Improper { own_ports } -> check own_ports);
+            { scheme; spec; own = fresh_row (); shared = [||]; selectors = [||] })
+         specs)
+  in
+  (* Cardinality of every own µop. *)
+  Array.iter
+    (fun row ->
+       let count =
+         match row.spec with Proper c -> c | Improper { own_ports } -> own_ports
+       in
+       Card.exactly solver (Array.to_list (Array.map Lit.pos row.own)) count)
+    rows;
+  (* Shared µops of improper instructions.  The partner may be any proper
+     blocking instruction's µop, or the own µop of another improper one:
+     on layouts where the store µop is wider than one port, the store
+     blockers share that µop among themselves rather than with a proper
+     class. *)
+  let rows =
+    Array.map
+      (fun row ->
+         match row.spec with
+         | Proper _ -> row
+         | Improper _ ->
+           let partners =
+             Array.to_list rows
+             |> List.filter (fun r -> not (Scheme.equal r.scheme row.scheme))
+           in
+           let shared = fresh_row () in
+           let selectors =
+             Array.of_list (List.map (fun _ -> Sat.fresh_var solver) partners)
+           in
+           Card.exactly solver
+             (Array.to_list (Array.map Lit.pos selectors))
+             1;
+           List.iteri
+             (fun j partner ->
+                for k = 0 to num_ports - 1 do
+                  (* selectors.(j) -> (shared.(k) <-> partner.own.(k)) *)
+                  Sat.add_clause solver
+                    [ Lit.neg_of_var selectors.(j);
+                      Lit.neg_of_var shared.(k);
+                      Lit.pos partner.own.(k) ];
+                  Sat.add_clause solver
+                    [ Lit.neg_of_var selectors.(j);
+                      Lit.pos shared.(k);
+                      Lit.neg_of_var partner.own.(k) ]
+                done)
+             partners;
+           { row with shared; selectors })
+      rows
+  in
+  let t = { solver; num_ports; rows } in
+  if symmetry_breaking then begin
+    (* Columns (ports), read along the proper rows, are lexicographically
+       non-increasing: col k >= col k+1. *)
+    let proper_bits k =
+      Array.to_list rows
+      |> List.filter_map
+           (fun r ->
+              match r.spec with
+              | Proper _ -> Some r.own.(k)
+              | Improper _ -> None)
+    in
+    for k = 0 to num_ports - 2 do
+      let xs = proper_bits k and ys = proper_bits (k + 1) in
+      (* a_r: rows 0..r-1 of the two columns are equal.  a_0 is true. *)
+      let rec go prefix_equal xs ys =
+        match (xs, ys) with
+        | [], [] -> ()
+        | x :: xs', y :: ys' ->
+          (* prefix equal -> x >= y *)
+          (match prefix_equal with
+           | None -> Sat.add_clause solver [ Lit.pos x; Lit.neg_of_var y ]
+           | Some a ->
+             Sat.add_clause solver
+               [ Lit.neg_of_var a; Lit.pos x; Lit.neg_of_var y ]);
+          if xs' <> [] then begin
+            let a' = Sat.fresh_var solver in
+            (* a' <-> prefix_equal /\ (x <-> y) *)
+            let prefix_lits =
+              match prefix_equal with
+              | None -> []
+              | Some a -> [ a ]
+            in
+            List.iter
+              (fun a ->
+                 Sat.add_clause solver [ Lit.neg_of_var a'; Lit.pos a ])
+              prefix_lits;
+            Sat.add_clause solver
+              [ Lit.neg_of_var a'; Lit.neg_of_var x; Lit.pos y ];
+            Sat.add_clause solver
+              [ Lit.neg_of_var a'; Lit.pos x; Lit.neg_of_var y ];
+            (* reverse: prefix_equal /\ (x <-> y) -> a'. *)
+            let base = List.map Lit.neg_of_var prefix_lits in
+            Sat.add_clause solver
+              (Lit.pos a' :: Lit.pos x :: Lit.pos y :: base);
+            Sat.add_clause solver
+              (Lit.pos a' :: Lit.neg_of_var x :: Lit.neg_of_var y :: base);
+            go (Some a') xs' ys'
+          end
+        | _, _ -> assert false
+      in
+      go None xs ys
+    done
+  end;
+  t
+
+let ports_of_row model vars =
+  let ports = ref Portset.empty in
+  Array.iteri (fun k v -> if model.(v) then ports := Portset.add k !ports) vars;
+  !ports
+
+let decode t model =
+  let mapping = Mapping.create ~num_ports:t.num_ports in
+  Array.iter
+    (fun row ->
+       let own = ports_of_row model row.own in
+       let usage =
+         match row.spec with
+         | Proper _ -> [ (own, 1) ]
+         | Improper _ -> [ (own, 1); (ports_of_row model row.shared, 1) ]
+       in
+       Mapping.set mapping row.scheme usage)
+    t.rows;
+  mapping
+
+let encode_mapping t mapping =
+  let lits = ref [] in
+  let assert_row vars ports =
+    Array.iteri
+      (fun k v ->
+         lits := (if Portset.mem k ports then Lit.pos v else Lit.neg_of_var v) :: !lits)
+      vars
+  in
+  Array.iter
+    (fun row ->
+       let usage =
+         match Mapping.find_opt mapping row.scheme with
+         | Some u -> u
+         | None -> invalid_arg "Encoding.encode_mapping: scheme not mapped"
+       in
+       match (row.spec, usage) with
+       | Proper _, [ (ports, 1) ] -> assert_row row.own ports
+       | Improper _, [ (a, 1); (b, 1) ] ->
+         (* The improper usage is stored canonically (sorted by port set);
+            try both orientations of (own, shared). *)
+         let own_count =
+           match row.spec with
+           | Improper { own_ports } -> own_ports
+           | Proper _ -> assert false
+         in
+         let own, shared =
+           if Portset.cardinal a = own_count then (a, b) else (b, a)
+         in
+         assert_row row.own own;
+         assert_row row.shared shared
+       | (Proper _ | Improper _), _ ->
+         invalid_arg "Encoding.encode_mapping: µop structure mismatch")
+    t.rows;
+  !lits
+
+let block_footprint t model schemes =
+  let interesting s = List.exists (Scheme.equal s) schemes in
+  let lits = ref [] in
+  let flip vars =
+    Array.iter
+      (fun v ->
+         lits := (if model.(v) then Lit.neg_of_var v else Lit.pos v) :: !lits)
+      vars
+  in
+  Array.iter
+    (fun row ->
+       if interesting row.scheme then begin
+         flip row.own;
+         flip row.shared
+       end)
+    t.rows;
+  !lits
+
+let block_model t model =
+  block_footprint t model (List.map (fun r -> r.scheme) (Array.to_list t.rows))

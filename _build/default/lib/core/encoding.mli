@@ -1,0 +1,59 @@
+(** Boolean encoding of candidate port mappings (§3.3.1-§3.3.2, §4.3).
+
+    Every blocking instruction carries a single µop, so the mapping is a
+    boolean matrix [m\[u⁽ⁱ⁾,k\]]: µop of instruction [i] may execute on
+    port [k].  Cardinality constraints pin each µop's port count to the
+    value measured from its throughput (§3.3.1, "we add constraints so that
+    each µop's number of ports fits the previous throughput measurements").
+
+    Improper blocking instructions — the §4.3 store blockers — carry two
+    µops: one of their own, and one constrained to equal the µop of {e some}
+    other blocking instruction (proper, or the own µop of another improper
+    one — store blockers share the store µop among themselves on layouts
+    where no proper class covers it), selected by auxiliary choice
+    variables.
+
+    Since ports are interchangeable a priori, the encoding optionally adds
+    lexicographic column-ordering constraints: the matrix columns (ports),
+    read along the proper µop rows, must be non-increasing.  Every mapping
+    has such a representative, so no behaviour is lost, while the SAT search
+    stops enumerating port renamings of the same mapping. *)
+
+type instr_spec =
+  | Proper of int               (** single µop with the given port count *)
+  | Improper of { own_ports : int }
+  (** own µop with [own_ports] ports, plus one µop shared with a proper
+      blocking instruction *)
+
+type t
+
+val create :
+  num_ports:int ->
+  ?symmetry_breaking:bool ->
+  (Pmi_isa.Scheme.t * instr_spec) list ->
+  t
+(** @raise Invalid_argument if a port count is out of range or an improper
+    instruction is given without any proper one. *)
+
+val sat : t -> Pmi_smt.Sat.t
+val num_ports : t -> int
+val schemes : t -> (Pmi_isa.Scheme.t * instr_spec) list
+
+val decode : t -> bool array -> Pmi_portmap.Mapping.t
+(** Read a port mapping out of a SAT model. *)
+
+val encode_mapping : t -> Pmi_portmap.Mapping.t -> Pmi_smt.Lit.t list
+(** Literals asserting that the µop variables take exactly the port sets of
+    the given mapping (used to hard-wire [M₁] in [findOtherMapping]).
+    @raise Invalid_argument if the mapping lacks one of the schemes or has
+    an incompatible µop structure. *)
+
+val block_footprint :
+  t -> bool array -> Pmi_isa.Scheme.t list -> Pmi_smt.Lit.t list
+(** A lemma clause refuting every assignment that agrees with [model] on
+    all µop variables of the given schemes — the CEGAR learning step: a
+    violated experiment refutes exactly the port sets of the schemes it
+    contains. *)
+
+val block_model : t -> bool array -> Pmi_smt.Lit.t list
+(** [block_footprint] over all schemes. *)

@@ -1,0 +1,35 @@
+(** Counting µops without per-port counters (§3.1, §4.1.1).
+
+    AMD's "Retired Uops" counter (PMCx0C1) counts {e macro-ops}: memory
+    µops are fused into their macro-op.  The paper postulates a macro-op to
+    µop correspondence — one extra µop per ≤128-bit memory operand, two per
+    256-bit operand, excluding [lea] and loading [mov]s — with the measured
+    correction that storing movs {e do} carry an extra µop (contradicting
+    the Software Optimization Guide).
+
+    The throughput-difference argument of §3.1 replaces Intel's per-port
+    counters: if an experiment [e = k×B + i] with blocking instructions [B]
+    for port set [pu] is slower than [e' = k×B] alone, every extra
+    [1/|pu|] cycles is one µop of [i] that cannot evade [pu]. *)
+
+val postulated_uops : Pmi_measure.Harness.t -> Pmi_isa.Scheme.t -> int
+(** Macro-op counter reading for [\[i\]] plus the §4.1.1 memory-operand
+    adjustment. *)
+
+val memory_uop_adjustment : Pmi_isa.Scheme.t -> int
+(** Just the adjustment term (0 for register-only schemes, [lea], loads). *)
+
+val uops_on_blocked_ports :
+  Pmi_measure.Harness.t ->
+  blocked:Pmi_portmap.Experiment.t ->
+  with_i:Pmi_portmap.Experiment.t ->
+  port_set_size:int ->
+  Pmi_numeric.Rat.t
+(** [(tp⁻¹(with_i) - tp⁻¹(blocked)) · port_set_size]: the (possibly
+    fractional, if measurements misbehave) number of µops of the
+    instruction under investigation that execute on the blocked ports. *)
+
+val round_uops : tolerance:float -> Pmi_numeric.Rat.t -> int option
+(** Round a measured µop count to the nearest non-negative integer, or
+    [None] if it is further than [tolerance] from every integer (a sign
+    that the scheme falls outside the port-mapping model). *)

@@ -1,0 +1,95 @@
+module Rat = Pmi_numeric.Rat
+module Scheme = Pmi_isa.Scheme
+module Portset = Pmi_portmap.Portset
+module Mapping = Pmi_portmap.Mapping
+module Experiment = Pmi_portmap.Experiment
+module Machine = Pmi_machine.Machine
+
+let observed_ports machine experiment =
+  let per_port = Machine.port_uops machine experiment in
+  let ports = ref Portset.empty in
+  Array.iteri
+    (fun k mass -> if Rat.sign mass > 0 then ports := Portset.add k !ports)
+    per_port;
+  !ports
+
+let blocking_instructions machine schemes =
+  let seen = Hashtbl.create 16 in
+  let blockers = ref [] in
+  List.iter
+    (fun s ->
+       let e = Experiment.singleton s in
+       if Machine.true_uop_count machine e = 1 then begin
+         (* Benchmark the scheme alone; the per-port counters show every
+            port its µop can use (§2.3). *)
+         let ports = observed_ports machine (Experiment.replicate 8 s) in
+         if not (Portset.is_empty ports || Hashtbl.mem seen ports) then begin
+           Hashtbl.add seen ports ();
+           blockers := (s, ports) :: !blockers
+         end
+       end)
+    schemes;
+  List.sort
+    (fun (_, a) (_, b) ->
+       match compare (Portset.cardinal a) (Portset.cardinal b) with
+       | 0 -> Portset.compare a b
+       | c -> c)
+    !blockers
+
+(* The uops.info k heuristic (§2.3). *)
+let blocking_count machine ~port_set_size scheme =
+  let e = Experiment.singleton scheme in
+  let uops = Machine.true_uop_count machine e in
+  let tp1 = Rat.to_float (Machine.true_inverse machine e) in
+  min 100
+    (max 10
+       (max (port_set_size * uops)
+          (2 * port_set_size * max 1 (int_of_float (Float.floor tp1)))))
+
+let characterize machine ~blockers scheme =
+  let blockers =
+    List.sort
+      (fun (_, a) (_, b) ->
+         match compare (Portset.cardinal a) (Portset.cardinal b) with
+         | 0 -> Portset.compare a b
+         | c -> c)
+      blockers
+  in
+  let found =
+    List.fold_left
+      (fun found (blocker, pu) ->
+         let size = Portset.cardinal pu in
+         let k = blocking_count machine ~port_set_size:size scheme in
+         let e = Experiment.add scheme (Experiment.replicate k blocker) in
+         (* Per-port counters: µops observed on the blocked ports. *)
+         let per_port = Machine.port_uops machine e in
+         let on_pu =
+           List.fold_left
+             (fun acc p -> Rat.add acc per_port.(p))
+             Rat.zero (Portset.to_list pu)
+         in
+         (* Algorithm 1, l. 5: subtract the k blocking instructions... *)
+         let surplus_f = Rat.to_float (Rat.sub on_pu (Rat.of_int k)) in
+         let surplus = int_of_float (Float.round surplus_f) in
+         (* ...and the µops already attributed to proper subsets (l. 6-8). *)
+         let already =
+           List.fold_left
+             (fun acc (sub, n) ->
+                if Portset.proper_subset sub pu then acc + n else acc)
+             0 found
+         in
+         let fresh = surplus - already in
+         if fresh > 0 then (pu, fresh) :: found else found)
+      [] blockers
+  in
+  Mapping.normalize_usage found
+
+let infer machine schemes =
+  let blockers = blocking_instructions machine schemes in
+  let mapping = Mapping.create ~num_ports:(Machine.num_ports machine) in
+  List.iter
+    (fun s ->
+       let usage = characterize machine ~blockers s in
+       if usage <> [] then Mapping.set mapping s usage)
+    schemes;
+  mapping

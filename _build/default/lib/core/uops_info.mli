@@ -1,0 +1,30 @@
+(** The original uops.info algorithm (Abel & Reineke 2019; §2.3 of the
+    paper), using per-port µop counters.
+
+    This is the reference the paper's counter-free algorithm replaces.  It
+    only runs on machines that expose Intel-style counters (simulated via
+    {!Pmi_machine.Machine.port_uops}); the repository uses it to validate
+    the central claim experimentally: on quirk-free schemes, the counter-free
+    characterisation and the counter-based one must coincide. *)
+
+val blocking_instructions :
+  Pmi_machine.Machine.t -> Pmi_isa.Scheme.t list ->
+  (Pmi_isa.Scheme.t * Pmi_portmap.Portset.t) list
+(** §2.3: a scheme is a blocking instruction when it executes as a single
+    µop; its blocked port set is read directly off the per-port counters.
+    Returns one representative per observed port set, in ascending
+    port-set-size order. *)
+
+val characterize :
+  Pmi_machine.Machine.t ->
+  blockers:(Pmi_isa.Scheme.t * Pmi_portmap.Portset.t) list ->
+  Pmi_isa.Scheme.t ->
+  Pmi_portmap.Mapping.usage
+(** Algorithm 1 verbatim: benchmark the scheme with [k] copies of each
+    blocking instruction (ascending port-set size), count the µops observed
+    on the blocked ports with the per-port counters, subtract µops already
+    attributed to proper subsets. *)
+
+val infer :
+  Pmi_machine.Machine.t -> Pmi_isa.Scheme.t list -> Pmi_portmap.Mapping.t
+(** Run both phases over a scheme list and assemble the mapping. *)

@@ -1,0 +1,1 @@
+lib/eval/blocks.ml: Array List Pmi_baselines Pmi_isa Pmi_portmap

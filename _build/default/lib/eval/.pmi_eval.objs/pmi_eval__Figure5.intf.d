@@ -1,0 +1,1 @@
+lib/eval/figure5.mli: Format Metrics Pmi_baselines Pmi_measure Pmi_portmap

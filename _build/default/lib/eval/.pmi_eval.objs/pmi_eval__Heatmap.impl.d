@@ -1,0 +1,1 @@
+lib/eval/heatmap.ml: Array Buffer Float Format List Printf String

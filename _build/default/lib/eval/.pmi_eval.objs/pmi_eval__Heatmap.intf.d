@@ -1,0 +1,1 @@
+lib/eval/heatmap.mli: Format

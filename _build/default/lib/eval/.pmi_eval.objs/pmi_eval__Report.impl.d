@@ -1,0 +1,1 @@
+lib/eval/report.ml: Buffer Catalog Figure5 Format List Metrics Pmi_core Pmi_isa Pmi_machine Pmi_measure Pmi_portmap Printf Scheme String

@@ -1,0 +1,1 @@
+lib/eval/report.mli: Figure5 Pmi_core Pmi_measure

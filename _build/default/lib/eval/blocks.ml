@@ -1,0 +1,18 @@
+module Rng = Pmi_baselines.Rng
+
+let spec_subset ?(seed = 1) ~size schemes =
+  let arr = Array.of_list schemes in
+  if Array.length arr <= size then schemes
+  else begin
+    let rng = Rng.create ~seed in
+    Rng.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 size)
+    |> List.sort Pmi_isa.Scheme.compare
+  end
+
+let generate ?(seed = 2) ~count ~block_size schemes =
+  let rng = Rng.create ~seed in
+  let arr = Array.of_list schemes in
+  List.init count (fun _ ->
+      Pmi_portmap.Experiment.of_list
+        (List.init block_size (fun _ -> Rng.pick rng arr)))

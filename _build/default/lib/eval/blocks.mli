@@ -1,0 +1,18 @@
+(** Workload generation for the Figure 5 evaluation.
+
+    The paper samples 5,000 dependency-free basic blocks of five random
+    instructions over the 577 schemes that occur in SPEC CPU2017 binaries
+    and are covered by the inferred mapping.  We reproduce the shape:
+    a deterministic subset of the covered schemes and deterministic random
+    blocks over it. *)
+
+val spec_subset :
+  ?seed:int -> size:int -> Pmi_isa.Scheme.t list -> Pmi_isa.Scheme.t list
+(** A deterministic pseudo-random subset standing in for "schemes appearing
+    in compiled SPEC binaries". *)
+
+val generate :
+  ?seed:int -> count:int -> block_size:int -> Pmi_isa.Scheme.t list ->
+  Pmi_portmap.Experiment.t list
+(** [count] random blocks of [block_size] instructions each (duplicates
+    within a block allowed, as in real straight-line code). *)

@@ -1,0 +1,84 @@
+type t = {
+  counts : int array array;   (* counts.(row).(col); row 0 = highest bin *)
+  bins : int;
+  rows : int;
+  bin_width : float;
+  max_predicted : float;
+}
+
+let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let make ?(bins = 10) ?(max_measured = 5.0) pairs =
+  let max_predicted =
+    List.fold_left (fun acc (p, _) -> Float.max acc p) max_measured pairs
+  in
+  let bin_width = max_measured /. float_of_int bins in
+  let rows = int_of_float (Float.ceil (max_predicted /. bin_width)) in
+  let rows = max bins rows in
+  let counts = Array.make_matrix rows bins 0 in
+  List.iter
+    (fun (predicted, measured) ->
+       let col = min (bins - 1) (int_of_float (measured /. bin_width)) in
+       let row_from_bottom =
+         min (rows - 1) (int_of_float (predicted /. bin_width))
+       in
+       let row = rows - 1 - row_from_bottom in
+       counts.(row).(col) <- counts.(row).(col) + 1)
+    pairs;
+  { counts; bins; rows; bin_width; max_predicted }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let peak =
+    Array.fold_left
+      (fun acc row -> Array.fold_left max acc row)
+      1 t.counts
+  in
+  let glyph count =
+    if count = 0 then ' '
+    else begin
+      (* Log scale: sparse buckets must stay visible next to dense ones. *)
+      let intensity =
+        log (1.0 +. float_of_int count) /. log (1.0 +. float_of_int peak)
+      in
+      let idx =
+        min (Array.length glyphs - 1)
+          (1 + int_of_float (intensity *. float_of_int (Array.length glyphs - 2)))
+      in
+      glyphs.(idx)
+    end
+  in
+  Buffer.add_string buf "predicted IPC\n";
+  for row = 0 to t.rows - 1 do
+    let upper = float_of_int (t.rows - row) *. t.bin_width in
+    Buffer.add_string buf (Printf.sprintf "%5.1f |" upper);
+    for col = 0 to t.bins - 1 do
+      (* Mark the diagonal cell of each column with brackets. *)
+      let diagonal = t.rows - 1 - row = col in
+      let c = glyph t.counts.(row).(col) in
+      if diagonal then begin
+        Buffer.add_char buf '[';
+        Buffer.add_char buf c;
+        Buffer.add_char buf ']'
+      end
+      else begin
+        Buffer.add_char buf ' ';
+        Buffer.add_char buf c;
+        Buffer.add_char buf ' '
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "      +";
+  Buffer.add_string buf (String.make (3 * t.bins) '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "       ";
+  for col = 0 to t.bins - 1 do
+    if col mod 2 = 1 then
+      Buffer.add_string buf
+        (Printf.sprintf "%6.1f" (float_of_int (col + 1) *. t.bin_width))
+  done;
+  Buffer.add_string buf "  measured IPC\n";
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

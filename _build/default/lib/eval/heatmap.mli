@@ -1,0 +1,16 @@
+(** ASCII heatmaps of predicted vs measured IPC (Figure 5(b-d)).
+
+    Basic blocks are bucketed on both axes; darker glyphs mean more blocks.
+    The diagonal (perfect prediction) is marked so the eye can compare
+    models the way the paper's orange line does. *)
+
+type t
+
+val make :
+  ?bins:int -> ?max_measured:float -> (float * float) list -> t
+(** [make pairs] from (predicted, measured) IPC pairs.  The predicted axis
+    extends beyond [max_measured] if a model overshoots (as PMEvo does in
+    the paper). *)
+
+val render : t -> string
+val pp : Format.formatter -> t -> unit

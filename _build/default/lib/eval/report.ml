@@ -1,0 +1,112 @@
+open Pmi_isa
+module Mapping = Pmi_portmap.Mapping
+module Diff = Pmi_portmap.Diff
+module Machine = Pmi_machine.Machine
+module Harness = Pmi_measure.Harness
+module Pipeline = Pmi_core.Pipeline
+module Blocking = Pmi_core.Blocking
+
+let render ?figure5 ~harness result =
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let machine = Harness.machine harness in
+  let profile = Machine.profile machine in
+  out "# Port-mapping inference report (%s)\n\n"
+    profile.Pmi_machine.Profile.name;
+  out "%d instruction schemes, %d ports, %d IPC frontend.\n\n"
+    (Catalog.size result.Pipeline.catalog)
+    profile.Pmi_machine.Profile.num_ports
+    profile.Pmi_machine.Profile.r_max;
+  (* Funnel. *)
+  let f = result.Pipeline.funnel in
+  out "## Case-study funnel\n\n";
+  out "| stage | schemes |\n|---|---|\n";
+  List.iter
+    (fun (label, v) -> out "| %s | %d |\n" label v)
+    [ ("total", f.Pipeline.total);
+      ("excluded individually", f.Pipeline.excluded_individual);
+      ("after stage 1", f.Pipeline.after_stage1);
+      ("single-µop candidates", f.Pipeline.candidates_initial);
+      ("excluded in pairing", f.Pipeline.excluded_pairing);
+      ("after stage 2", f.Pipeline.after_stage2);
+      ("blocking candidates", f.Pipeline.candidates_final);
+      ("blocking classes", f.Pipeline.blocking_classes);
+      ("excluded with culprit mnemonics", f.Pipeline.excluded_mnemonic);
+      ("considered", f.Pipeline.considered);
+      ("regular patterns", f.Pipeline.regular_pattern);
+      ("microcode artefacts", f.Pipeline.spurious_ms);
+      ("unstable", f.Pipeline.unstable);
+      ("inferred", f.Pipeline.inferred) ];
+  (* Table 1. *)
+  out "\n## Blocking-instruction classes (Table 1)\n\n";
+  out "| ports | representative | equivalent schemes |\n|---|---|---|\n";
+  List.iter
+    (fun k ->
+       out "| %d | `%s` | %d |\n" k.Blocking.port_count
+         (Scheme.name k.Blocking.representative)
+         (List.length k.Blocking.members))
+    result.Pipeline.filtering.Blocking.classes;
+  (* Table 2. *)
+  let docs = Machine.ground_truth machine in
+  out "\n## Inferred port usage of the blocking instructions (Table 2)\n\n";
+  out "| scheme | documented | inferred |\n|---|---|---|\n";
+  let removed rep =
+    List.exists
+      (fun r -> Scheme.equal r.Blocking.representative rep)
+      result.Pipeline.removed_classes
+  in
+  List.iter
+    (fun k ->
+       let rep = k.Blocking.representative in
+       if not (removed rep) then begin
+         let show m =
+           match Mapping.find_opt m rep with
+           | Some u -> Mapping.usage_to_string u
+           | None -> "-"
+         in
+         out "| `%s` | %s | %s |\n" (Scheme.name rep) (show docs)
+           (show result.Pipeline.blocker_mapping)
+       end)
+    result.Pipeline.filtering.Blocking.classes;
+  List.iter
+    (fun s ->
+       let show m =
+         match Mapping.find_opt m s with
+         | Some u -> Mapping.usage_to_string u
+         | None -> "-"
+       in
+       out "| `%s` | %s | %s |\n" (Scheme.name s) (show docs)
+         (show result.Pipeline.blocker_mapping))
+    result.Pipeline.improper;
+  if result.Pipeline.removed_classes <> [] then begin
+    out "\nExcluded during inference (UNSAT, §4.3): %s.\n"
+      (String.concat ", "
+         (List.map
+            (fun k -> "`" ^ Scheme.name k.Blocking.representative ^ "`")
+            result.Pipeline.removed_classes))
+  end;
+  (* Diff against the documentation. *)
+  let diff = Diff.compute ~left:result.Pipeline.mapping ~right:docs in
+  out "\n## Agreement with the documented mapping\n\n";
+  out "%s\n"
+    (Format.asprintf "%a" (Diff.pp ~max_rows:10 ()) diff);
+  (* Figure 5. *)
+  (match figure5 with
+   | None -> ()
+   | Some fig ->
+     out "\n## Prediction accuracy (Figure 5)\n\n";
+     out "| model | MAPE | PCC | Kendall τ |\n|---|---|---|---|\n";
+     List.iter
+       (fun r ->
+          out "| %s | %.1f%% | %.2f | %.2f |\n" r.Figure5.model
+            r.Figure5.summary.Metrics.mape r.Figure5.summary.Metrics.pearson
+            r.Figure5.summary.Metrics.kendall)
+       [ fig.Figure5.pmevo; fig.Figure5.palmed; fig.Figure5.ours ];
+     out "\n(%d blocks over %d schemes)\n" fig.Figure5.blocks_used
+       fig.Figure5.schemes_used);
+  Buffer.contents buf
+
+let write ?figure5 ~harness ~path result =
+  let oc = open_out path in
+  output_string oc (render ?figure5 ~harness result);
+  close_out oc

@@ -1,0 +1,20 @@
+(** Markdown report generation.
+
+    The paper's artifact ships human-readable result summaries alongside the
+    machine-readable mapping; this module renders the same from a pipeline
+    result: the funnel, Table 1, Table 2, the diff against the documented
+    mapping, and (optionally) the Figure 5 accuracy study. *)
+
+val render :
+  ?figure5:Figure5.t ->
+  harness:Pmi_measure.Harness.t ->
+  Pmi_core.Pipeline.t ->
+  string
+(** A complete markdown document. *)
+
+val write :
+  ?figure5:Figure5.t ->
+  harness:Pmi_measure.Harness.t ->
+  path:string ->
+  Pmi_core.Pipeline.t ->
+  unit

@@ -1,0 +1,1 @@
+lib/isa/catalog.ml: Array Format Iclass List Operand Scheme String

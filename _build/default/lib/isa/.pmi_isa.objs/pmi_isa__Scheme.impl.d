@@ -1,0 +1,1 @@
+lib/isa/scheme.ml: Format Iclass List Operand Printf Stdlib String

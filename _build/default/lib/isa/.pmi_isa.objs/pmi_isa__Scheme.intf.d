@@ -1,0 +1,1 @@
+lib/isa/scheme.mli: Format Iclass Operand

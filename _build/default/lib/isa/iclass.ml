@@ -1,0 +1,99 @@
+type base =
+  | Alu
+  | Vec_logic
+  | Vec_int_arith
+  | Fp_mul_cmp
+  | Shuffle
+  | Vec_sat
+  | Fp_add
+  | Load
+  | Vec_shift_imm
+  | Vec_mul_hard
+  | Scalar_mul
+  | Fp_round
+  | Vec_to_gpr
+  | Store
+
+type structure =
+  | Nullary
+  | Single of base
+  | With_load of base * int
+  | Rmw of base * bool
+  | Ymm_single of base
+  | Ymm_with_load of base
+  | Store_scalar
+  | Store_vec
+  | Store_vec_ymm
+  | Multi of base list
+
+type quirk =
+  | Div_slow
+  | Imm64_unreliable
+  | High8
+  | Pair_unstable
+  | Fma_lines
+  | Mul_anomaly
+  | Vec_mul_slow
+  | Gpr_cross
+  | Ms_microcode
+  | Tp_unstable
+
+type t = { structure : structure; quirk : quirk option }
+
+let plain structure = { structure; quirk = None }
+let quirky structure quirk = { structure; quirk = Some quirk }
+
+let macro_ops = function
+  | Nullary -> 1
+  | Single _ | With_load _ | Rmw _ -> 1
+  | Ymm_single _ | Ymm_with_load _ -> 2
+  | Store_scalar | Store_vec -> 1
+  | Store_vec_ymm -> 2
+  | Multi bases -> List.length bases
+
+let base_to_string = function
+  | Alu -> "alu"
+  | Vec_logic -> "vec-logic"
+  | Vec_int_arith -> "vec-int"
+  | Fp_mul_cmp -> "fp-mul-cmp"
+  | Shuffle -> "shuffle"
+  | Vec_sat -> "vec-sat"
+  | Fp_add -> "fp-add"
+  | Load -> "load"
+  | Vec_shift_imm -> "vec-shift"
+  | Vec_mul_hard -> "vec-mul-hard"
+  | Scalar_mul -> "scalar-mul"
+  | Fp_round -> "fp-round"
+  | Vec_to_gpr -> "vec-to-gpr"
+  | Store -> "store"
+
+let structure_to_string = function
+  | Nullary -> "nullary"
+  | Single b -> base_to_string b
+  | With_load (b, n) -> Printf.sprintf "%s+%dxload" (base_to_string b) n
+  | Rmw (b, narrow) ->
+    Printf.sprintf "%s+store%s" (base_to_string b) (if narrow then "+agu" else "")
+  | Ymm_single b -> "2x" ^ base_to_string b
+  | Ymm_with_load b -> "2x" ^ base_to_string b ^ "+2xload"
+  | Store_scalar -> "store-scalar"
+  | Store_vec -> "store-vec"
+  | Store_vec_ymm -> "store-vec-ymm"
+  | Multi bases -> String.concat "+" (List.map base_to_string bases)
+
+let quirk_to_string = function
+  | Div_slow -> "div-slow"
+  | Imm64_unreliable -> "imm64"
+  | High8 -> "high8"
+  | Pair_unstable -> "pair-unstable"
+  | Fma_lines -> "fma-lines"
+  | Mul_anomaly -> "mul-anomaly"
+  | Vec_mul_slow -> "vec-mul-slow"
+  | Gpr_cross -> "gpr-cross"
+  | Ms_microcode -> "microcode"
+  | Tp_unstable -> "tp-unstable"
+
+let pp ppf t =
+  Format.pp_print_string ppf (structure_to_string t.structure);
+  match t.quirk with
+  | None -> ()
+  | Some q -> Format.fprintf ppf " (%s)" (quirk_to_string q)

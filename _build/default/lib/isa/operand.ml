@@ -1,0 +1,42 @@
+type kind =
+  | Gpr of int
+  | Gpr_high
+  | Vec of int
+  | Mem of int
+  | Imm of int
+
+type access = Read | Write | Read_write
+
+type t = { kind : kind; access : access }
+
+let gpr ?(access = Read_write) width = { kind = Gpr width; access }
+let gpr_high ?(access = Read_write) () = { kind = Gpr_high; access }
+let xmm ?(access = Read) () = { kind = Vec 128; access }
+let ymm ?(access = Read) () = { kind = Vec 256; access }
+let mem ?(access = Read) width = { kind = Mem width; access }
+let imm width = { kind = Imm width; access = Read }
+
+let is_memory t = match t.kind with Mem _ -> true | Gpr _ | Gpr_high | Vec _ | Imm _ -> false
+
+let memory_width t =
+  match t.kind with
+  | Mem w -> Some w
+  | Gpr _ | Gpr_high | Vec _ | Imm _ -> None
+
+let is_memory_read t =
+  is_memory t && (match t.access with Read | Read_write -> true | Write -> false)
+
+let is_memory_write t =
+  is_memory t && (match t.access with Write | Read_write -> true | Read -> false)
+
+let to_string t =
+  match t.kind with
+  | Gpr w -> Printf.sprintf "<GPR[%d]>" w
+  | Gpr_high -> "<GPR8h>"
+  | Vec 128 -> "<XMM>"
+  | Vec 256 -> "<YMM>"
+  | Vec w -> Printf.sprintf "<VEC[%d]>" w
+  | Mem w -> Printf.sprintf "<MEM[%d]>" w
+  | Imm w -> Printf.sprintf "<IMM[%d]>" w
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

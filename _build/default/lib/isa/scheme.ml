@@ -1,0 +1,48 @@
+type t = {
+  id : int;
+  mnemonic : string;
+  operands : Operand.t list;
+  variant : int;
+  klass : Iclass.t;
+}
+
+let make ~id ~mnemonic ~operands ~variant ~klass =
+  { id; mnemonic; operands; variant; klass }
+
+let id t = t.id
+let mnemonic t = t.mnemonic
+let operands t = t.operands
+let klass t = t.klass
+let quirk t = t.klass.Iclass.quirk
+
+let name t =
+  let ops = List.map Operand.to_string t.operands in
+  let head =
+    if ops = [] then t.mnemonic
+    else t.mnemonic ^ " " ^ String.concat ", " ops
+  in
+  if t.variant = 0 then head else Printf.sprintf "%s {v%d}" head t.variant
+
+let memory_reads t =
+  List.filter_map
+    (fun op -> if Operand.is_memory_read op then Operand.memory_width op else None)
+    t.operands
+
+let memory_writes t =
+  List.filter_map
+    (fun op -> if Operand.is_memory_write op then Operand.memory_width op else None)
+    t.operands
+
+let mov_mnemonics = [ "mov"; "movzx"; "movsx"; "movsxd"; "vmovdqa"; "vmovdqu";
+                      "vmovaps"; "vmovapd"; "vmovups"; "vmovupd"; "vmovq" ]
+
+let is_loading_mov t =
+  List.mem t.mnemonic mov_mnemonics
+  && memory_reads t <> []
+  && memory_writes t = []
+
+let is_lea t = t.mnemonic = "lea"
+
+let compare a b = Stdlib.compare a.id b.id
+let equal a b = a.id = b.id
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,46 @@
+(** Instruction schemes (uops.info "instruction forms").
+
+    A scheme abstracts the set of concrete instructions that share a
+    mnemonic and operand shape, e.g. [add <GPR[32]>, <MEM[32]>].  Schemes
+    carry their simulated-Zen+ behaviour class ({!Iclass.t}) so the machine
+    library can execute them; the inference algorithm itself only reads the
+    identifier, the rendering, and the operand metadata needed by the
+    macro-op postulate. *)
+
+type t = private {
+  id : int;               (** dense index into the catalog *)
+  mnemonic : string;
+  operands : Operand.t list;
+  variant : int;          (** encoding/addressing variant disambiguator *)
+  klass : Iclass.t;       (** simulated behaviour (machine-side ground truth) *)
+}
+
+val make :
+  id:int -> mnemonic:string -> operands:Operand.t list -> variant:int ->
+  klass:Iclass.t -> t
+
+val id : t -> int
+val mnemonic : t -> string
+val operands : t -> Operand.t list
+val klass : t -> Iclass.t
+val quirk : t -> Iclass.quirk option
+
+val name : t -> string
+(** Full rendering, e.g. ["add <GPR[32]>, <MEM[32]>"], with a [" {vN}"]
+    suffix for encoding variants beyond the first. *)
+
+val memory_reads : t -> int list
+(** Widths of memory operands that are read. *)
+
+val memory_writes : t -> int list
+(** Widths of memory operands that are written. *)
+
+val is_loading_mov : t -> bool
+(** [mov]-family scheme whose only memory operand is read (§4.1.1 excludes
+    these from the +1-µop-per-memory-operand rule). *)
+
+val is_lea : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

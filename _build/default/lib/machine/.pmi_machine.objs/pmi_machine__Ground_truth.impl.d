@@ -1,0 +1,1 @@
+lib/machine/ground_truth.ml: Array Catalog Iclass List Pmi_isa Pmi_portmap Profile Scheme

@@ -1,0 +1,1 @@
+lib/machine/ground_truth.mli: Pmi_isa Pmi_portmap Profile

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Pmi_isa Pmi_numeric Pmi_portmap Profile

@@ -1,0 +1,1 @@
+lib/machine/noise.ml: Pmi_isa Pmi_portmap

@@ -1,0 +1,1 @@
+lib/machine/noise.mli: Pmi_portmap

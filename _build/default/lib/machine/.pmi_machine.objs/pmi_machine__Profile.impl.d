@@ -1,0 +1,1 @@
+lib/machine/profile.ml: Iclass List Pmi_isa Pmi_portmap

@@ -1,0 +1,288 @@
+open Pmi_isa
+module Rat = Pmi_numeric.Rat
+module Portset = Pmi_portmap.Portset
+module Mapping = Pmi_portmap.Mapping
+module Experiment = Pmi_portmap.Experiment
+
+type config = {
+  seed : int;
+  noise_amplitude : float;
+  unstable_amplitude : float;
+  unreliable_amplitude : float;
+}
+
+let default_config =
+  { seed = 42;
+    noise_amplitude = 0.002;
+    unstable_amplitude = 0.25;
+    unreliable_amplitude = 0.50 }
+
+let quiet_config =
+  { seed = 0;
+    noise_amplitude = 0.0;
+    unstable_amplitude = 0.0;
+    unreliable_amplitude = 0.0 }
+
+type t = {
+  catalog : Catalog.t;
+  config : config;
+  profile : Profile.t;
+  ground_truth : Mapping.t;
+  cache : (string, Rat.t) Hashtbl.t;
+  mutable measurements : int;
+}
+
+let create ?(config = default_config) ?(profile = Profile.zen_plus) catalog =
+  Profile.validate profile;
+  { catalog;
+    config;
+    profile;
+    ground_truth = Ground_truth.mapping_for profile catalog;
+    cache = Hashtbl.create 4096;
+    measurements = 0 }
+
+let catalog t = t.catalog
+let config t = t.config
+let profile t = t.profile
+let ground_truth t = t.ground_truth
+let r_max t = t.profile.Profile.r_max
+let num_ports t = t.profile.Profile.num_ports
+let measurement_count t = t.measurements
+
+(* All µop masses are multiples of 1/scale, so the port-utilisation search
+   runs on scaled integers.  The vpmuldq-style slowdown is the finest
+   effect: 1/20 cycle of extra port pressure per instance. *)
+let scale = 20
+
+let quirk_of scheme = (Scheme.klass scheme).Iclass.quirk
+
+(* Does the base usage of [scheme] touch any port in [ports]? *)
+let touches profile ports scheme =
+  let { Iclass.structure; _ } = Scheme.klass scheme in
+  List.exists
+    (fun (ps, _) -> not (Portset.is_empty (Portset.inter ps ports)))
+    (Ground_truth.usage_for profile structure)
+
+(* Quirk coupling sets, derived from the profile's layout so that the §4.2
+   and §4.3 phenomena exist on every simulated microarchitecture. *)
+let fma_trigger_ports profile =
+  Portset.union profile.Profile.fma_shadow
+    (profile.Profile.ports_of_base Iclass.Fp_add)
+
+let gpr_cross_ports profile =
+  Portset.union
+    (profile.Profile.ports_of_base Iclass.Shuffle)
+    (profile.Profile.ports_of_base Iclass.Vec_to_gpr)
+
+(* Scaled-integer µop masses of one experiment iteration, including the
+   phantom pressure of the quirks (see the .mli for the catalogue). *)
+let scaled_masses profile experiment =
+  let ports_of = profile.Profile.ports_of_base in
+  let tbl = Hashtbl.create 16 in
+  let bump ports mass =
+    if mass <> 0 && not (Portset.is_empty ports) then begin
+      let prev = try Hashtbl.find tbl ports with Not_found -> 0 in
+      Hashtbl.replace tbl ports (prev + mass)
+    end
+  in
+  let other_scheme_exists ~than pred =
+    Experiment.exists
+      (fun s _ -> (not (Scheme.equal s than)) && pred s)
+      experiment
+  in
+  let fma_paired scheme =
+    other_scheme_exists ~than:scheme (fun s ->
+        quirk_of s <> Some Iclass.Fma_lines
+        && touches profile (fma_trigger_ports profile) s)
+  in
+  let gpr_cross_paired scheme =
+    other_scheme_exists ~than:scheme (fun s ->
+        quirk_of s <> Some Iclass.Gpr_cross
+        && touches profile (gpr_cross_ports profile) s)
+  in
+  Experiment.fold
+    (fun scheme count () ->
+       let { Iclass.structure; quirk } = Scheme.klass scheme in
+       let usage = Ground_truth.usage_for profile structure in
+       let vec_to_gpr_ports =
+         (* The vmovd inconsistency: in the company of other FP-pipe users
+            its µop occupies both data-line ports instead of one. *)
+         match quirk with
+         | Some Iclass.Gpr_cross when gpr_cross_paired scheme ->
+           gpr_cross_ports profile
+         | _ -> ports_of Iclass.Vec_to_gpr
+       in
+       List.iter
+         (fun (ports, n) ->
+            let ports =
+              if Portset.equal ports (ports_of Iclass.Vec_to_gpr)
+              && quirk = Some Iclass.Gpr_cross
+              then vec_to_gpr_ports
+              else ports
+            in
+            let per_uop =
+              match quirk with
+              | Some Iclass.Div_slow -> scale * profile.Profile.div_occupancy
+              | _ -> scale
+            in
+            bump ports (per_uop * n * count))
+         usage;
+       (match quirk with
+        | Some Iclass.Mul_anomaly ->
+          (* The §4.3 anomaly: each imul also pressures the whole ALU
+             cluster for a full cycle. *)
+          bump (ports_of Iclass.Alu) (scale * count)
+        | Some Iclass.Vec_mul_slow ->
+          (* Runs slightly slower than its port usage implies. *)
+          bump (ports_of Iclass.Vec_mul_hard) count
+        | Some Iclass.Fma_lines when fma_paired scheme ->
+          (* Data lines of a third port are occupied while the fma
+             executes. *)
+          let uops = List.fold_left (fun acc (_, n) -> acc + n) 0 usage in
+          bump profile.Profile.fma_shadow (scale * uops * count)
+        | Some
+            ( Iclass.Fma_lines | Iclass.Imm64_unreliable | Iclass.High8
+            | Iclass.Pair_unstable | Iclass.Gpr_cross | Iclass.Ms_microcode
+            | Iclass.Tp_unstable | Iclass.Div_slow )
+        | None -> ())
+    )
+    experiment ();
+  Hashtbl.fold (fun ports mass acc -> (ports, mass) :: acc) tbl []
+
+let port_inverse_scaled masses =
+  match masses with
+  | [] -> Rat.zero
+  | _ ->
+    let universe =
+      List.fold_left (fun acc (ports, _) -> Portset.union acc ports)
+        Portset.empty masses
+    in
+    let best_num = ref 0 and best_den = ref 1 in
+    Portset.iter_subsets universe (fun q ->
+        if not (Portset.is_empty q) then begin
+          let mass =
+            List.fold_left
+              (fun acc (ports, m) ->
+                 if Portset.subset ports q then acc + m else acc)
+              0 masses
+          in
+          let card = Portset.cardinal q in
+          if mass * !best_den > !best_num * card then begin
+            best_num := mass;
+            best_den := card
+          end
+        end);
+    Rat.of_ints !best_num (!best_den * scale)
+
+let ms_stall profile experiment =
+  (* Microcoded schemes are emitted by the microcode sequencer at a fixed
+     rate while the rest of the frontend stalls (§4.4); the sequencer hands
+     back to the decoders only on a cycle boundary. *)
+  let rate = profile.Profile.ms_ops_per_cycle in
+  let cycles_for macro = (macro + rate - 1) / rate in
+  let stall =
+    Experiment.fold
+      (fun scheme count acc ->
+         match quirk_of scheme with
+         | Some Iclass.Ms_microcode ->
+           acc
+           + (count
+              * cycles_for (Iclass.macro_ops (Scheme.klass scheme).Iclass.structure))
+         | Some _ | None -> acc)
+      experiment 0
+  in
+  Rat.of_int stall
+
+let cache_key experiment =
+  let buf = Buffer.create 64 in
+  Experiment.fold
+    (fun s n () ->
+       Buffer.add_string buf (string_of_int (Scheme.id s));
+       Buffer.add_char buf ':';
+       Buffer.add_string buf (string_of_int n);
+       Buffer.add_char buf ';')
+    experiment ();
+  Buffer.contents buf
+
+let true_inverse t experiment =
+  let key = cache_key experiment in
+  match Hashtbl.find_opt t.cache key with
+  | Some v -> v
+  | None ->
+    let ports = port_inverse_scaled (scaled_masses t.profile experiment) in
+    let frontend =
+      Rat.of_ints (Experiment.length experiment) t.profile.Profile.r_max
+    in
+    let v = Rat.add (Rat.max ports frontend) (ms_stall t.profile experiment) in
+    Hashtbl.replace t.cache key v;
+    v
+
+(* Noise tier of an experiment: inherently unreliable schemes dominate,
+   then pairing instability (which only shows when at least two distinct
+   schemes run together), then the baseline jitter. *)
+let amplitude t experiment =
+  let has q =
+    Experiment.exists (fun s _ -> quirk_of s = Some q) experiment
+  in
+  if has Iclass.Imm64_unreliable || has Iclass.High8 then
+    t.config.unreliable_amplitude
+  else if
+    Experiment.distinct experiment >= 2
+    && (has Iclass.Pair_unstable || has Iclass.Tp_unstable)
+  then t.config.unstable_amplitude
+  else t.config.noise_amplitude
+
+let measure_cycles t ~rep experiment =
+  t.measurements <- t.measurements + 1;
+  let base = Rat.to_float (true_inverse t experiment) in
+  let amp = amplitude t experiment in
+  if amp = 0.0 then base
+  else begin
+    let key = Noise.hash_experiment experiment in
+    base *. (1.0 +. Noise.jitter ~seed:t.config.seed ~key ~rep ~amplitude:amp)
+  end
+
+let true_uop_count t experiment =
+  Experiment.fold
+    (fun scheme count acc ->
+       let usage = Mapping.usage t.ground_truth scheme in
+       acc + (count * List.fold_left (fun a (_, n) -> a + n) 0 usage))
+    experiment 0
+
+(* Real schedulers assign each µop to the least-loaded admissible port, so
+   observed per-port counts spread over the whole admissible set (which is
+   what lets uops.info read port sets off the counters).  The simulation
+   replays many iterations of the experiment, dispatching the most
+   constrained µops first, and reports the per-iteration average. *)
+let port_uops t experiment =
+  let num_ports = t.profile.Profile.num_ports in
+  let iterations = 120 in
+  let load = Array.make num_ports 0 in
+  let uops =
+    Experiment.fold
+      (fun scheme count acc ->
+         let usage = Mapping.usage t.ground_truth scheme in
+         List.concat_map
+           (fun (ports, n) -> List.init (n * count) (fun _ -> ports))
+           usage
+         @ acc)
+      experiment []
+    |> List.sort (fun a b -> compare (Portset.cardinal a) (Portset.cardinal b))
+  in
+  for _ = 1 to iterations do
+    List.iter
+      (fun ports ->
+         let best = ref (-1) in
+         List.iter
+           (fun k -> if !best < 0 || load.(k) < load.(!best) then best := k)
+           (Portset.to_list ports);
+         load.(!best) <- load.(!best) + 1)
+      uops
+  done;
+  Array.map (fun l -> Rat.of_ints l iterations) load
+
+let retired_ops _ experiment =
+  Experiment.fold
+    (fun scheme count acc ->
+       acc + (count * Iclass.macro_ops (Scheme.klass scheme).Iclass.structure))
+    experiment 0

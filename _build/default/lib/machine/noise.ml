@@ -1,0 +1,19 @@
+let mix h =
+  (* splitmix64-style finaliser, truncated to OCaml's 63-bit ints. *)
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x4be98134a5976fd3 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x3bc8203a9c2b4eab in
+  h lxor (h lsr 32)
+
+let hash_experiment experiment =
+  Pmi_portmap.Experiment.fold
+    (fun scheme count acc ->
+       (* Multiset hash: commutative combination of per-element hashes. *)
+       acc + mix ((Pmi_isa.Scheme.id scheme * 1_000_003) + count))
+    experiment 0x9e3779b9
+
+let jitter ~seed ~key ~rep ~amplitude =
+  let h = mix (mix (seed + (key * 31)) + rep) in
+  let unit = float_of_int (h land 0xFFFFFF) /. float_of_int 0xFFFFFF in
+  ((2.0 *. unit) -. 1.0) *. amplitude

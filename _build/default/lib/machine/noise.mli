@@ -1,0 +1,13 @@
+(** Deterministic measurement noise.
+
+    Real microbenchmarks are noisy; the paper combats this with medians over
+    11 runs and an ε-tolerant comparison (§4).  The simulator reproduces the
+    phenomenon with a deterministic hash-based jitter so that every run of
+    the reproduction is bit-identical. *)
+
+val hash_experiment : Pmi_portmap.Experiment.t -> int
+(** Order-insensitive hash of an experiment's multiset. *)
+
+val jitter : seed:int -> key:int -> rep:int -> amplitude:float -> float
+(** A pseudo-random value in [[-amplitude, +amplitude]], a pure function of
+    its arguments (splitmix-style integer mixing). *)

@@ -1,0 +1,127 @@
+open Pmi_isa
+module Portset = Pmi_portmap.Portset
+
+type t = {
+  name : string;
+  num_ports : int;
+  r_max : int;
+  ms_ops_per_cycle : int;
+  div_occupancy : int;
+  ports_of_base : Iclass.base -> Portset.t;
+  fma_shadow : Portset.t;
+}
+
+let all_bases =
+  [ Iclass.Alu; Iclass.Vec_logic; Iclass.Vec_int_arith; Iclass.Fp_mul_cmp;
+    Iclass.Shuffle; Iclass.Vec_sat; Iclass.Fp_add; Iclass.Load;
+    Iclass.Vec_shift_imm; Iclass.Vec_mul_hard; Iclass.Scalar_mul;
+    Iclass.Fp_round; Iclass.Vec_to_gpr; Iclass.Store ]
+
+let table name num_ports r_max ~ms ~div ~fma_shadow entries =
+  let lookup base =
+    match List.assoc_opt base entries with
+    | Some ports -> Portset.of_list ports
+    | None -> invalid_arg ("Profile: missing base class in " ^ name)
+  in
+  { name;
+    num_ports;
+    r_max;
+    ms_ops_per_cycle = ms;
+    div_occupancy = div;
+    ports_of_base = lookup;
+    fma_shadow = Portset.of_list fma_shadow }
+
+(* The paper's Zen+ layout (Table 2 numbering): FP pipes 0-3, AGUs 4-5
+   (stores retire through 5), scalar ALUs 6-9. *)
+let zen_plus =
+  table "zen+" 10 5 ~ms:4 ~div:4 ~fma_shadow:[ 2 ]
+    [ (Iclass.Alu, [ 6; 7; 8; 9 ]);
+      (Iclass.Vec_logic, [ 0; 1; 2; 3 ]);
+      (Iclass.Vec_int_arith, [ 0; 1; 3 ]);
+      (Iclass.Fp_mul_cmp, [ 0; 1 ]);
+      (Iclass.Shuffle, [ 1; 2 ]);
+      (Iclass.Vec_sat, [ 0; 3 ]);
+      (Iclass.Fp_add, [ 2; 3 ]);
+      (Iclass.Load, [ 4; 5 ]);
+      (Iclass.Vec_shift_imm, [ 2 ]);
+      (Iclass.Vec_mul_hard, [ 0 ]);
+      (Iclass.Scalar_mul, [ 9 ]);
+      (Iclass.Fp_round, [ 3 ]);
+      (Iclass.Vec_to_gpr, [ 2 ]);
+      (Iclass.Store, [ 5 ]) ]
+
+(* A Zen3-like design: the footnote of §3.5 — same port structure as Zen+
+   here, but a 6-IPC frontend and a faster divider.  (The ALU/FP port-
+   sharing ambiguity of §4.3 survives even this gap: hiding it needs a
+   bottleneck set larger than the frontend width, and the relevant unions
+   span 7+ ports.) *)
+let zen3 =
+  { zen_plus with
+    name = "zen3";
+    r_max = 6;
+    div_occupancy = 3 }
+
+(* A Golden-Cove-like design: 6 sustained IPC, five-wide ALU µops, three
+   load ports and two store-data ports (§3.5). *)
+let golden_cove =
+  table "golden-cove" 12 6 ~ms:4 ~div:5 ~fma_shadow:[ 10 ]
+    [ (Iclass.Alu, [ 0; 1; 5; 6; 10 ]);
+      (Iclass.Vec_logic, [ 0; 1; 5 ]);
+      (Iclass.Vec_int_arith, [ 0; 1 ]);
+      (Iclass.Fp_mul_cmp, [ 0; 5 ]);
+      (Iclass.Shuffle, [ 1; 5 ]);
+      (Iclass.Vec_sat, [ 0; 10 ]);
+      (Iclass.Fp_add, [ 5; 10 ]);
+      (Iclass.Load, [ 2; 3; 11 ]);
+      (Iclass.Vec_shift_imm, [ 1 ]);
+      (Iclass.Vec_mul_hard, [ 0 ]);
+      (Iclass.Scalar_mul, [ 10 ]);
+      (Iclass.Fp_round, [ 5 ]);
+      (Iclass.Vec_to_gpr, [ 6 ]);
+      (Iclass.Store, [ 4; 9 ]) ]
+
+(* An A64FX-like design: 4-wide decode, µops at most 3 ports wide (§3.5).
+   Several one-port classes share a port, so the blocking equivalence
+   classes legitimately merge there. *)
+let a64fx =
+  table "a64fx" 7 4 ~ms:2 ~div:9 ~fma_shadow:[ 1 ]
+    [ (Iclass.Alu, [ 4; 5; 6 ]);
+      (Iclass.Vec_logic, [ 0; 1; 2 ]);
+      (Iclass.Vec_int_arith, [ 0; 1 ]);
+      (Iclass.Fp_mul_cmp, [ 0; 2 ]);
+      (Iclass.Shuffle, [ 1; 2 ]);
+      (Iclass.Vec_sat, [ 0 ]);
+      (Iclass.Fp_add, [ 1 ]);
+      (Iclass.Load, [ 3; 4 ]);
+      (Iclass.Vec_shift_imm, [ 2 ]);
+      (Iclass.Vec_mul_hard, [ 0 ]);
+      (Iclass.Scalar_mul, [ 6 ]);
+      (Iclass.Fp_round, [ 1 ]);
+      (Iclass.Vec_to_gpr, [ 2 ]);
+      (Iclass.Store, [ 3 ]) ]
+
+let all = [ zen_plus; zen3; golden_cove; a64fx ]
+
+let max_port_set t =
+  List.fold_left
+    (fun acc base -> max acc (Portset.cardinal (t.ports_of_base base)))
+    1 all_bases
+
+let validate t =
+  if t.num_ports <= 0 || t.r_max <= 0 || t.ms_ops_per_cycle <= 0
+     || t.div_occupancy <= 0
+  then invalid_arg ("Profile.validate: non-positive constant in " ^ t.name);
+  List.iter
+    (fun base ->
+       let ports = t.ports_of_base base in
+       if Portset.is_empty ports then
+         invalid_arg ("Profile.validate: empty port set in " ^ t.name);
+       if not (Portset.subset ports (Portset.full t.num_ports)) then
+         invalid_arg ("Profile.validate: port out of range in " ^ t.name))
+    all_bases;
+  if not (Portset.subset t.fma_shadow (Portset.full t.num_ports)) then
+    invalid_arg ("Profile.validate: fma shadow out of range in " ^ t.name);
+  if t.r_max <= max_port_set t then
+    invalid_arg
+      ("Profile.validate: §3.4 gap violated in " ^ t.name
+       ^ " (frontend must out-run the widest µop)")

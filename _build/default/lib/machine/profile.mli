@@ -1,0 +1,40 @@
+(** Microarchitecture profiles (§3.5).
+
+    The inference algorithm supports any design that (a) can measure
+    cycles, (b) counts total retired ops, and (c) sustains a frontend
+    throughput strictly above the widest µop's port count.  The paper lists
+    AMD's Zen family, Intel's Golden Cove, Fujitsu's A64FX, ARM's
+    Neoverse V2 and Apple's M1 as qualifying designs.  A profile captures
+    the machine-level constants and the functional-unit port layout; the
+    simulated machine and the pipeline are parametric in it.
+
+    Besides the Zen+ profile of the case study, two synthetic profiles
+    exercise the algorithm's portability: a Golden-Cove-like design (12
+    ports, 6 IPC, µops up to 5 ports wide) and an A64FX-like design (7
+    ports, 4 IPC, µops up to 3 ports). *)
+
+type t = {
+  name : string;
+  num_ports : int;
+  r_max : int;                  (** sustained instructions per cycle *)
+  ms_ops_per_cycle : int;       (** microcode-sequencer emission rate *)
+  div_occupancy : int;          (** cycles per non-pipelined divider µop *)
+  ports_of_base : Pmi_isa.Iclass.base -> Pmi_portmap.Portset.t;
+  fma_shadow : Pmi_portmap.Portset.t;
+  (** data-line ports an fma-style µop occupies besides its own (§4.2) *)
+}
+
+val zen_plus : t
+val zen3 : t
+val golden_cove : t
+val a64fx : t
+
+val all : t list
+
+val max_port_set : t -> int
+(** Largest port-set cardinality over all base classes. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument when a port set leaves the port range, is
+    empty, or violates the §3.4 gap requirement ([r_max] must exceed
+    {!max_port_set}). *)

@@ -1,0 +1,1 @@
+lib/measure/harness.ml: Buffer Float Hashtbl List Pmi_isa Pmi_machine Pmi_numeric Pmi_portmap

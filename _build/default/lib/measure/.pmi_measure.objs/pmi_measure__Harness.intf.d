@@ -1,0 +1,1 @@
+lib/measure/harness.mli: Pmi_machine Pmi_numeric Pmi_portmap

@@ -1,0 +1,83 @@
+module Rat = Pmi_numeric.Rat
+module Experiment = Pmi_portmap.Experiment
+module Machine = Pmi_machine.Machine
+
+type sample = {
+  cycles : Rat.t;
+  spread_cpi : float;
+  retired_ops : int;
+}
+
+type t = {
+  machine : Machine.t;
+  reps : int;
+  precision : int;
+  cache : (string, sample) Hashtbl.t;
+}
+
+let create ?(reps = 11) ?(precision = 1000) machine =
+  if reps <= 0 || precision <= 0 then invalid_arg "Harness.create";
+  { machine; reps; precision; cache = Hashtbl.create 4096 }
+
+let machine t = t.machine
+
+let key experiment =
+  let buf = Buffer.create 64 in
+  Experiment.fold
+    (fun s n () ->
+       Buffer.add_string buf (string_of_int (Pmi_isa.Scheme.id s));
+       Buffer.add_char buf ':';
+       Buffer.add_string buf (string_of_int n);
+       Buffer.add_char buf ';')
+    experiment ();
+  Buffer.contents buf
+
+let quantise t value =
+  let p = float_of_int t.precision in
+  Rat.of_ints (int_of_float (Float.round (value *. p))) t.precision
+
+let run t experiment =
+  let k = key experiment in
+  match Hashtbl.find_opt t.cache k with
+  | Some sample -> sample
+  | None ->
+    let runs =
+      List.init t.reps (fun rep -> Machine.measure_cycles t.machine ~rep experiment)
+    in
+    let sorted = List.sort Float.compare runs in
+    let median = List.nth sorted (t.reps / 2) in
+    let low = List.nth sorted 0 in
+    let high = List.nth sorted (t.reps - 1) in
+    let len = Experiment.length experiment in
+    let spread_cpi =
+      if len = 0 then 0.0 else (high -. low) /. float_of_int len
+    in
+    let sample =
+      { cycles = quantise t median;
+        spread_cpi;
+        retired_ops = Machine.retired_ops t.machine experiment }
+    in
+    Hashtbl.replace t.cache k sample;
+    sample
+
+let cycles t experiment = (run t experiment).cycles
+
+let cpi t experiment =
+  let len = Experiment.length experiment in
+  if len = 0 then invalid_arg "Harness.cpi: empty experiment";
+  Rat.div (cycles t experiment) (Rat.of_int len)
+
+let retired_ops t experiment = (run t experiment).retired_ops
+let benchmarks_run t = Hashtbl.length t.cache
+
+module Compare = struct
+  let default_epsilon = Rat.of_ints 2 100
+
+  let cpi_equal ?(epsilon = default_epsilon) ~length t1 t2 =
+    let bound = Rat.mul epsilon (Rat.of_int length) in
+    Rat.compare (Rat.abs (Rat.sub t1 t2)) bound <= 0
+
+  let well_separated ?(epsilon = default_epsilon) ~length t1 t2 =
+    let bound = Rat.mul (Rat.of_int 2) (Rat.mul epsilon (Rat.of_int length)) in
+    Rat.compare (Rat.abs (Rat.sub t1 t2)) bound > 0
+end

@@ -1,0 +1,50 @@
+(** nanoBench-style measurement harness (§4).
+
+    Every experiment is run [reps] times on the simulated machine; the
+    harness reports the median inverse throughput (quantised to the
+    harness's precision, as a real measurement report would be), the
+    observed CPI spread across repetitions, and the retired-ops counter.
+    Results are memoised: repeated queries for the same experiment do not
+    re-run the benchmark, mirroring the experiment cache of the paper's
+    artifact. *)
+
+type sample = {
+  cycles : Pmi_numeric.Rat.t;   (** median inverse throughput, quantised *)
+  spread_cpi : float;           (** (max - min) / |e| across repetitions *)
+  retired_ops : int;            (** macro-op counter reading *)
+}
+
+type t
+
+val create : ?reps:int -> ?precision:int -> Pmi_machine.Machine.t -> t
+(** [reps] defaults to 11 (the paper's median-of-11); [precision] is the
+    denominator of the quantisation grid, default 1000 (millicycles). *)
+
+val machine : t -> Pmi_machine.Machine.t
+val run : t -> Pmi_portmap.Experiment.t -> sample
+val cycles : t -> Pmi_portmap.Experiment.t -> Pmi_numeric.Rat.t
+val cpi : t -> Pmi_portmap.Experiment.t -> Pmi_numeric.Rat.t
+(** Median cycles divided by experiment length.
+    @raise Invalid_argument on an empty experiment. *)
+
+val retired_ops : t -> Pmi_portmap.Experiment.t -> int
+val benchmarks_run : t -> int
+(** Distinct experiments measured so far. *)
+
+(** ε-tolerant throughput comparisons (§3.3.4, §4). *)
+module Compare : sig
+  val default_epsilon : Pmi_numeric.Rat.t
+  (** 0.02 cycles per instruction, the paper's choice for Zen+. *)
+
+  val cpi_equal :
+    ?epsilon:Pmi_numeric.Rat.t -> length:int ->
+    Pmi_numeric.Rat.t -> Pmi_numeric.Rat.t -> bool
+  (** [cpi_equal ~length t1 t2]: are two inverse-throughput values of an
+      experiment with [length] instructions equal up to [ε·length]? *)
+
+  val well_separated :
+    ?epsilon:Pmi_numeric.Rat.t -> length:int ->
+    Pmi_numeric.Rat.t -> Pmi_numeric.Rat.t -> bool
+  (** The 2ε separation required of distinguishing experiments: no observed
+      value can be ε-equal to both [t1] and [t2]. *)
+end

@@ -1,0 +1,81 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero
+  else if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let of_int i = { num = Bigint.of_int i; den = Bigint.one }
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+
+let num t = t.num
+let den t = t.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den, dens > 0. *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let sign a = Bigint.sign a.num
+
+let neg a = { a with num = Bigint.neg a.num }
+let abs a = { a with num = Bigint.abs a.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv a =
+  if Bigint.is_zero a.num then raise Division_by_zero
+  else if Bigint.sign a.num > 0 then { num = a.den; den = a.num }
+  else { num = Bigint.neg a.den; den = Bigint.neg a.num }
+
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_zero a = Bigint.is_zero a.num
+let is_integer a = Bigint.is_one a.den
+
+let floor a =
+  let q, r = Bigint.divmod a.num a.den in
+  if Bigint.sign r < 0 then Bigint.sub q Bigint.one else q
+
+let ceil a = Bigint.neg (floor (neg a))
+
+let to_float a =
+  (* Values in this project have small numerators/denominators, so a direct
+     float division is exact enough for reporting. *)
+  float_of_string (Bigint.to_string a.num) /. float_of_string (Bigint.to_string a.den)
+
+let to_string a =
+  if is_integer a then Bigint.to_string a.num
+  else Bigint.to_string a.num ^ "/" ^ Bigint.to_string a.den
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

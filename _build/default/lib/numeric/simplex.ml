@@ -1,0 +1,230 @@
+type relation = Le | Ge | Eq
+
+type linear_constraint = {
+  coeffs : Rat.t array;
+  relation : relation;
+  rhs : Rat.t;
+}
+
+type objective =
+  | Minimize of Rat.t array
+  | Maximize of Rat.t array
+
+type problem = {
+  num_vars : int;
+  constraints : linear_constraint list;
+  objective : objective;
+}
+
+type solution = {
+  objective_value : Rat.t;
+  assignment : Rat.t array;
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+(* Dense tableau:
+     [rows].(r).(c) for c < total_cols are constraint coefficients,
+     [rows].(r).(total_cols) is the right-hand side.
+     [cost].(c) holds reduced costs, [cost].(total_cols) the negated
+     objective value of the current basis.
+     [basis].(r) is the variable index basic in row [r]. *)
+type tableau = {
+  rows : Rat.t array array;
+  cost : Rat.t array;
+  basis : int array;
+  total_cols : int;
+}
+
+let pivot tab ~row ~col =
+  let { rows; cost; basis; total_cols } = tab in
+  let piv = rows.(row).(col) in
+  assert (Rat.sign piv > 0);
+  let inv_piv = Rat.inv piv in
+  for c = 0 to total_cols do
+    rows.(row).(c) <- Rat.mul rows.(row).(c) inv_piv
+  done;
+  let eliminate target =
+    let factor = target.(col) in
+    if not (Rat.is_zero factor) then
+      for c = 0 to total_cols do
+        target.(c) <- Rat.sub target.(c) (Rat.mul factor rows.(row).(c))
+      done
+  in
+  Array.iteri (fun r target -> if r <> row then eliminate target) rows;
+  eliminate cost;
+  basis.(row) <- col
+
+(* Bland's rule: entering = lowest-index column with negative reduced cost;
+   leaving = lowest-index basic variable among minimum-ratio rows. *)
+let rec iterate tab ~allowed =
+  let { rows; cost; total_cols; basis } = tab in
+  let entering =
+    let rec find c =
+      if c >= total_cols then None
+      else if allowed c && Rat.sign cost.(c) < 0 then Some c
+      else find (c + 1)
+    in
+    find 0
+  in
+  match entering with
+  | None -> `Optimal
+  | Some col ->
+    let leaving = ref None in
+    for r = 0 to Array.length rows - 1 do
+      let a = rows.(r).(col) in
+      if Rat.sign a > 0 then begin
+        let ratio = Rat.div rows.(r).(total_cols) a in
+        match !leaving with
+        | None -> leaving := Some (r, ratio)
+        | Some (r', best) ->
+          let c = Rat.compare ratio best in
+          if c < 0 || (c = 0 && basis.(r) < basis.(r')) then
+            leaving := Some (r, ratio)
+      end
+    done;
+    (match !leaving with
+     | None -> `Unbounded
+     | Some (row, _) ->
+       pivot tab ~row ~col;
+       iterate tab ~allowed)
+
+let solve problem =
+  let n = problem.num_vars in
+  let constraints = Array.of_list problem.constraints in
+  Array.iter
+    (fun c ->
+       if Array.length c.coeffs <> n then
+         invalid_arg "Simplex.solve: coefficient arity mismatch")
+    constraints;
+  let m = Array.length constraints in
+  (* Normalise right-hand sides to be non-negative. *)
+  let constraints =
+    Array.map
+      (fun c ->
+         if Rat.sign c.rhs < 0 then
+           { coeffs = Array.map Rat.neg c.coeffs;
+             relation = (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+             rhs = Rat.neg c.rhs }
+         else c)
+      constraints
+  in
+  let needs_slack = function Le | Ge -> true | Eq -> false in
+  let needs_artificial = function Ge | Eq -> true | Le -> false in
+  let num_slack =
+    Array.fold_left (fun acc c -> if needs_slack c.relation then acc + 1 else acc) 0 constraints
+  in
+  let num_art =
+    Array.fold_left
+      (fun acc c -> if needs_artificial c.relation then acc + 1 else acc)
+      0 constraints
+  in
+  let total_cols = n + num_slack + num_art in
+  let rows = Array.init m (fun _ -> Array.make (total_cols + 1) Rat.zero) in
+  let basis = Array.make m (-1) in
+  let art_cols = ref [] in
+  let slack_cursor = ref n in
+  let art_cursor = ref (n + num_slack) in
+  Array.iteri
+    (fun r c ->
+       Array.blit (Array.map (fun x -> x) c.coeffs) 0 rows.(r) 0 n;
+       rows.(r).(total_cols) <- c.rhs;
+       (match c.relation with
+        | Le ->
+          rows.(r).(!slack_cursor) <- Rat.one;
+          basis.(r) <- !slack_cursor;
+          incr slack_cursor
+        | Ge ->
+          rows.(r).(!slack_cursor) <- Rat.neg Rat.one;
+          incr slack_cursor;
+          rows.(r).(!art_cursor) <- Rat.one;
+          basis.(r) <- !art_cursor;
+          art_cols := !art_cursor :: !art_cols;
+          incr art_cursor
+        | Eq ->
+          rows.(r).(!art_cursor) <- Rat.one;
+          basis.(r) <- !art_cursor;
+          art_cols := !art_cursor :: !art_cols;
+          incr art_cursor))
+    constraints;
+  let is_artificial =
+    let arts = Array.make (total_cols + 1) false in
+    List.iter (fun c -> arts.(c) <- true) !art_cols;
+    fun c -> arts.(c)
+  in
+  (* Phase 1: minimise the sum of artificial variables. *)
+  let phase1_outcome =
+    if num_art = 0 then `Optimal
+    else begin
+      let cost = Array.make (total_cols + 1) Rat.zero in
+      List.iter (fun c -> cost.(c) <- Rat.one) !art_cols;
+      (* Reduce the cost row against the initial (artificial) basis. *)
+      Array.iteri
+        (fun r b ->
+           if is_artificial b then
+             for c = 0 to total_cols do
+               cost.(c) <- Rat.sub cost.(c) rows.(r).(c)
+             done)
+        basis;
+      let tab = { rows; cost; basis; total_cols } in
+      match iterate tab ~allowed:(fun _ -> true) with
+      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+      | `Optimal ->
+        let objective_value = Rat.neg cost.(total_cols) in
+        if Rat.sign objective_value <> 0 then `Infeasible
+        else begin
+          (* Drive any artificial variables still basic (at value 0) out of
+             the basis when a real pivot column exists; otherwise the row is
+             redundant and harmless since the artificial sits at zero and is
+             never allowed to re-enter. *)
+          Array.iteri
+            (fun r b ->
+               if is_artificial b then begin
+                 let rec find c =
+                   if c >= n + num_slack then None
+                   else if Rat.sign rows.(r).(c) > 0 then Some c
+                   else find (c + 1)
+                 in
+                 match find 0 with
+                 | Some col -> pivot tab ~row:r ~col
+                 | None -> ()
+               end)
+            basis;
+          `Optimal
+        end
+    end
+  in
+  match phase1_outcome with
+  | `Infeasible -> Infeasible
+  | `Optimal ->
+    (* Phase 2 with the real objective (internally always minimising). *)
+    let minimise_coeffs, flip =
+      match problem.objective with
+      | Minimize c -> (c, false)
+      | Maximize c -> (Array.map Rat.neg c, true)
+    in
+    let cost = Array.make (total_cols + 1) Rat.zero in
+    Array.blit (Array.map (fun x -> x) minimise_coeffs) 0 cost 0 n;
+    (* Reduce the cost row against the current basis. *)
+    Array.iteri
+      (fun r b ->
+         let cb = if b < n then minimise_coeffs.(b) else Rat.zero in
+         if not (Rat.is_zero cb) then
+           for c = 0 to total_cols do
+             cost.(c) <- Rat.sub cost.(c) (Rat.mul cb rows.(r).(c))
+           done)
+      basis;
+    let tab = { rows; cost; basis; total_cols } in
+    (match iterate tab ~allowed:(fun c -> not (is_artificial c)) with
+     | `Unbounded -> Unbounded
+     | `Optimal ->
+       let assignment = Array.make n Rat.zero in
+       Array.iteri
+         (fun r b -> if b < n then assignment.(b) <- rows.(r).(total_cols))
+         basis;
+       let value = Rat.neg cost.(total_cols) in
+       let objective_value = if flip then Rat.neg value else value in
+       Optimal { objective_value; assignment })

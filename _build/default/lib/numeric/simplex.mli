@@ -1,0 +1,43 @@
+(** Exact-arithmetic linear programming.
+
+    A dense two-phase primal simplex over {!Rat} with Bland's anti-cycling
+    rule.  All decision variables are implicitly non-negative, which matches
+    the port-mapping linear program of the paper (constraints A-E in §2.2):
+    µop masses, per-port totals, and the makespan are all non-negative.
+
+    The solver is used as an independent oracle: the fast bottleneck-set
+    throughput formula in [Pmi_portmap.Throughput] is cross-checked against
+    the LP optimum in tests and benchmarks. *)
+
+type relation = Le | Ge | Eq
+
+type linear_constraint = {
+  coeffs : Rat.t array;  (** one coefficient per decision variable *)
+  relation : relation;
+  rhs : Rat.t;
+}
+
+type objective =
+  | Minimize of Rat.t array
+  | Maximize of Rat.t array
+
+type problem = {
+  num_vars : int;
+  constraints : linear_constraint list;
+  objective : objective;
+}
+
+type solution = {
+  objective_value : Rat.t;
+  assignment : Rat.t array;  (** optimal values of the decision variables *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome
+(** [solve p] solves [p] exactly.
+    @raise Invalid_argument if a constraint's coefficient vector does not
+    have [p.num_vars] entries. *)

@@ -1,0 +1,1 @@
+lib/portmap/analysis.ml: Array Experiment Format List Lp_model Mapping Pmi_isa Pmi_numeric Portset Printf String Throughput

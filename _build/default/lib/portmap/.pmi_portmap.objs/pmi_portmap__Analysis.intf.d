@@ -1,0 +1,1 @@
+lib/portmap/analysis.mli: Experiment Format Mapping Pmi_isa Pmi_numeric Portset

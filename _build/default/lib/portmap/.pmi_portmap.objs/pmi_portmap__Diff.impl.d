@@ -1,0 +1,1 @@
+lib/portmap/diff.ml: Format Hashtbl List Mapping Option Pmi_isa

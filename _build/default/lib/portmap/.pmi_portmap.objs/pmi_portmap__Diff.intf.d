@@ -1,0 +1,1 @@
+lib/portmap/diff.mli: Format Mapping Pmi_isa

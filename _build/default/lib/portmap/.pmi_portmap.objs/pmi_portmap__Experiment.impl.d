@@ -1,0 +1,1 @@
+lib/portmap/experiment.ml: Format Hashtbl List Pmi_isa Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/portmap/experiment.mli: Format Pmi_isa

@@ -1,0 +1,1 @@
+lib/portmap/lp_model.ml: Array List Mapping Pmi_numeric Portset Throughput

@@ -1,0 +1,1 @@
+lib/portmap/lp_model.mli: Experiment Mapping Pmi_numeric

@@ -1,0 +1,1 @@
+lib/portmap/mapping.ml: Format Hashtbl List Pmi_isa Portset Printf String

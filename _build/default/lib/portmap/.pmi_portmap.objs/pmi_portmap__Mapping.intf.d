@@ -1,0 +1,1 @@
+lib/portmap/mapping.mli: Format Pmi_isa Portset

@@ -1,0 +1,1 @@
+lib/portmap/mapping_io.ml: Array Buffer Hashtbl List Mapping Pmi_isa Portset Printf String

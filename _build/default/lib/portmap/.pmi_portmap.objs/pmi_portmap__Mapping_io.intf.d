@@ -1,0 +1,1 @@
+lib/portmap/mapping_io.mli: Mapping Pmi_isa

@@ -1,0 +1,1 @@
+lib/portmap/portset.ml: Format List Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/portmap/portset.mli: Format

@@ -1,0 +1,1 @@
+lib/portmap/throughput.ml: Experiment Hashtbl List Mapping Pmi_isa Pmi_numeric Portset

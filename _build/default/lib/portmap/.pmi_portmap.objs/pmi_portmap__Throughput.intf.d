@@ -1,0 +1,1 @@
+lib/portmap/throughput.mli: Experiment Mapping Pmi_isa Pmi_numeric Portset

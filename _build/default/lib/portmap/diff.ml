@@ -1,0 +1,87 @@
+module Scheme = Pmi_isa.Scheme
+
+type entry =
+  | Agree of Mapping.usage
+  | Disagree of { left : Mapping.usage; right : Mapping.usage }
+  | Only_left of Mapping.usage
+  | Only_right of Mapping.usage
+
+type t = {
+  entries : (int, Scheme.t * entry) Hashtbl.t;
+}
+
+let compute ~left ~right =
+  let entries = Hashtbl.create 1024 in
+  let add s e = Hashtbl.replace entries (Scheme.id s) (s, e) in
+  List.iter
+    (fun s ->
+       let lu = Mapping.usage left s in
+       match Mapping.find_opt right s with
+       | None -> add s (Only_left lu)
+       | Some ru ->
+         if Mapping.equal_usage lu ru then add s (Agree lu)
+         else add s (Disagree { left = lu; right = ru }))
+    (Mapping.schemes left);
+  List.iter
+    (fun s ->
+       if not (Mapping.supports left s) then
+         add s (Only_right (Mapping.usage right s)))
+    (Mapping.schemes right);
+  { entries }
+
+let entry t scheme =
+  Option.map snd (Hashtbl.find_opt t.entries (Scheme.id scheme))
+
+let collect t pred =
+  Hashtbl.fold (fun _ (s, e) acc -> match pred s e with Some x -> x :: acc | None -> acc)
+    t.entries []
+  |> List.sort (fun a b -> compare (fst a) (fst b))
+  |> List.map snd
+
+let agreements t =
+  Hashtbl.fold
+    (fun _ (_, e) acc -> match e with Agree _ -> acc + 1 | _ -> acc)
+    t.entries 0
+
+let disagreements t =
+  collect t (fun s e ->
+      match e with
+      | Disagree { left; right } -> Some (Scheme.id s, (s, left, right))
+      | Agree _ | Only_left _ | Only_right _ -> None)
+
+let only_left t =
+  collect t (fun s e ->
+      match e with
+      | Only_left _ -> Some (Scheme.id s, s)
+      | Agree _ | Disagree _ | Only_right _ -> None)
+
+let only_right t =
+  collect t (fun s e ->
+      match e with
+      | Only_right _ -> Some (Scheme.id s, s)
+      | Agree _ | Disagree _ | Only_left _ -> None)
+
+let agreement_ratio t =
+  let agree = agreements t in
+  let both = agree + List.length (disagreements t) in
+  if both = 0 then 1.0 else float_of_int agree /. float_of_int both
+
+let pp ?(max_rows = 20) () ppf t =
+  let disagreeing = disagreements t in
+  Format.fprintf ppf
+    "agree on %d schemes, disagree on %d (%.1f%% agreement); %d only left, \
+     %d only right@."
+    (agreements t)
+    (List.length disagreeing)
+    (100.0 *. agreement_ratio t)
+    (List.length (only_left t))
+    (List.length (only_right t));
+  List.iteri
+    (fun i (s, lu, ru) ->
+       if i < max_rows then
+         Format.fprintf ppf "  %-44s %-24s vs %s@." (Scheme.name s)
+           (Mapping.usage_to_string lu) (Mapping.usage_to_string ru))
+    disagreeing;
+  if List.length disagreeing > max_rows then
+    Format.fprintf ppf "  ... and %d more@."
+      (List.length disagreeing - max_rows)

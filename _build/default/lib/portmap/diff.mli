@@ -1,0 +1,31 @@
+(** Structural comparison of two port mappings.
+
+    The evaluation constantly asks "where does the inferred mapping disagree
+    with the documentation / the ground truth / another tool's result?".
+    This module answers it once, properly: per-scheme classification into
+    agreement, µop-level disagreement, and one-sided coverage, with summary
+    counts and a printable report. *)
+
+type entry =
+  | Agree of Mapping.usage
+  | Disagree of { left : Mapping.usage; right : Mapping.usage }
+  | Only_left of Mapping.usage
+  | Only_right of Mapping.usage
+
+type t
+
+val compute : left:Mapping.t -> right:Mapping.t -> t
+
+val entry : t -> Pmi_isa.Scheme.t -> entry option
+(** [None] when neither side maps the scheme. *)
+
+val agreements : t -> int
+val disagreements : t -> (Pmi_isa.Scheme.t * Mapping.usage * Mapping.usage) list
+val only_left : t -> Pmi_isa.Scheme.t list
+val only_right : t -> Pmi_isa.Scheme.t list
+
+val agreement_ratio : t -> float
+(** Agreements over schemes mapped by both sides; 1.0 when both empty. *)
+
+val pp : ?max_rows:int -> unit -> Format.formatter -> t -> unit
+(** Summary plus up to [max_rows] (default 20) disagreement rows. *)

@@ -1,0 +1,62 @@
+module Rat = Pmi_numeric.Rat
+module Simplex = Pmi_numeric.Simplex
+
+(* Variable layout: x_{u,k} for µop kind u (0..nu-1) and port k (0..np-1)
+   come first, then p_k (np variables), then t. *)
+
+let build mapping experiment =
+  let masses = Throughput.uop_masses mapping experiment in
+  let nu = List.length masses in
+  let np = Mapping.num_ports mapping in
+  let num_vars = (nu * np) + np + 1 in
+  let x u k = (u * np) + k in
+  let p k = (nu * np) + k in
+  let t = (nu * np) + np in
+  let row () = Array.make num_vars Rat.zero in
+  let constraints = ref [] in
+  let push coeffs relation rhs =
+    constraints := { Simplex.coeffs; relation; rhs } :: !constraints
+  in
+  (* (A): all mass of each µop kind is distributed over the ports. *)
+  List.iteri
+    (fun u (_, mass) ->
+       let coeffs = row () in
+       for k = 0 to np - 1 do
+         coeffs.(x u k) <- Rat.one
+       done;
+       push coeffs Simplex.Eq (Rat.of_int mass))
+    masses;
+  for k = 0 to np - 1 do
+    (* (B): p_k collects the mass assigned to port k. *)
+    let coeffs = row () in
+    List.iteri (fun u _ -> coeffs.(x u k) <- Rat.one) masses;
+    coeffs.(p k) <- Rat.neg Rat.one;
+    push coeffs Simplex.Eq Rat.zero;
+    (* (C): p_k <= t. *)
+    let coeffs = row () in
+    coeffs.(p k) <- Rat.one;
+    coeffs.(t) <- Rat.neg Rat.one;
+    push coeffs Simplex.Le Rat.zero
+  done;
+  (* (E): µops only on admissible ports ((D) is implicit: vars are >= 0). *)
+  List.iteri
+    (fun u (ports, _) ->
+       for k = 0 to np - 1 do
+         if not (Portset.mem k ports) then begin
+           let coeffs = row () in
+           coeffs.(x u k) <- Rat.one;
+           push coeffs Simplex.Eq Rat.zero
+         end
+       done)
+    masses;
+  let objective = Array.make num_vars Rat.zero in
+  objective.(t) <- Rat.one;
+  { Simplex.num_vars;
+    constraints = List.rev !constraints;
+    objective = Simplex.Minimize objective }
+
+let inverse mapping experiment =
+  match Simplex.solve (build mapping experiment) with
+  | Simplex.Optimal { objective_value; _ } -> objective_value
+  | Simplex.Infeasible -> failwith "Lp_model.inverse: infeasible"
+  | Simplex.Unbounded -> failwith "Lp_model.inverse: unbounded"

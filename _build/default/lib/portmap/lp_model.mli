@@ -1,0 +1,16 @@
+(** The linear program (A)-(E) of §2.2, built explicitly.
+
+    This is the textbook formulation with one mass variable per µop kind and
+    port, per-port total variables and the makespan [t].  It exists as an
+    independent oracle for {!Throughput}: both must agree on every mapping
+    and experiment, which the property tests exercise. *)
+
+val build : Mapping.t -> Experiment.t -> Pmi_numeric.Simplex.problem
+(** @raise Throughput.Unsupported if the experiment contains an unmapped
+    scheme. *)
+
+val inverse : Mapping.t -> Experiment.t -> Pmi_numeric.Rat.t
+(** Solve the LP for the inverse throughput.
+    @raise Failure if the solver reports the LP infeasible or unbounded,
+    which would indicate a bug (the program is always feasible and bounded
+    for well-formed mappings). *)

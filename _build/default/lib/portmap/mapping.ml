@@ -1,0 +1,88 @@
+module Scheme = Pmi_isa.Scheme
+
+type usage = (Portset.t * int) list
+
+type t = {
+  num_ports : int;
+  table : (int, Scheme.t * usage) Hashtbl.t;
+}
+
+let create ~num_ports =
+  if num_ports <= 0 then invalid_arg "Mapping.create";
+  { num_ports; table = Hashtbl.create 64 }
+
+let num_ports t = t.num_ports
+
+let normalize_usage usage =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (ports, n) ->
+       if n > 0 then begin
+         let prev = try Hashtbl.find tbl ports with Not_found -> 0 in
+         Hashtbl.replace tbl ports (prev + n)
+       end)
+    usage;
+  Hashtbl.fold (fun ports n acc -> (ports, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Portset.compare a b)
+
+let validate t usage =
+  List.iter
+    (fun ((ports : Portset.t), n) ->
+       if n <= 0 then invalid_arg "Mapping.set: non-positive multiplicity";
+       if Portset.is_empty ports then invalid_arg "Mapping.set: empty port set";
+       if not (Portset.subset ports (Portset.full t.num_ports)) then
+         invalid_arg "Mapping.set: port out of range")
+    usage
+
+let set t scheme usage =
+  let usage = normalize_usage usage in
+  validate t usage;
+  Hashtbl.replace t.table (Scheme.id scheme) (scheme, usage)
+
+let find_opt t scheme =
+  match Hashtbl.find_opt t.table (Scheme.id scheme) with
+  | Some (_, usage) -> Some usage
+  | None -> None
+
+let usage t scheme =
+  match find_opt t scheme with
+  | Some usage -> usage
+  | None -> raise Not_found
+
+let supports t scheme = Hashtbl.mem t.table (Scheme.id scheme)
+
+let schemes t =
+  Hashtbl.fold (fun _ (s, _) acc -> s :: acc) t.table []
+  |> List.sort Scheme.compare
+
+let size t = Hashtbl.length t.table
+
+let uop_count t scheme =
+  match find_opt t scheme with
+  | None -> 0
+  | Some usage -> List.fold_left (fun acc (_, n) -> acc + n) 0 usage
+
+let copy t = { t with table = Hashtbl.copy t.table }
+
+let usage_to_string usage =
+  match usage with
+  | [] -> "(none)"
+  | _ ->
+    String.concat " + "
+      (List.map
+         (fun (ports, n) ->
+            if n = 1 then Portset.to_string ports
+            else Printf.sprintf "%d x %s" n (Portset.to_string ports))
+         usage)
+
+let equal_usage a b =
+  List.equal
+    (fun (p, n) (p', n') -> Portset.equal p p' && n = n')
+    (normalize_usage a) (normalize_usage b)
+
+let pp ppf t =
+  List.iter
+    (fun s ->
+       Format.fprintf ppf "%-48s %s@." (Scheme.name s)
+         (usage_to_string (usage t s)))
+    (schemes t)

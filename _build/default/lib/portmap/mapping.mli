@@ -1,0 +1,44 @@
+(** Port mappings: the tripartite graph of the formal model (§2.2).
+
+    Because a µop kind is fully described by its admissible port set, a
+    mapping assigns every instruction scheme a multiset of port sets — the
+    [F] edges carry the multiplicities, the [E] edges are the port sets
+    themselves. *)
+
+type usage = (Portset.t * int) list
+(** µop kinds with multiplicities; canonical form merges equal port sets,
+    keeps positive counts and sorts by port set. *)
+
+type t
+
+val create : num_ports:int -> t
+val num_ports : t -> int
+
+val set : t -> Pmi_isa.Scheme.t -> usage -> unit
+(** Define (or replace) the port usage of a scheme.
+    @raise Invalid_argument if a port set is empty, mentions a port
+    [>= num_ports], or a multiplicity is non-positive. *)
+
+val find_opt : t -> Pmi_isa.Scheme.t -> usage option
+val usage : t -> Pmi_isa.Scheme.t -> usage
+(** @raise Not_found if the scheme has no entry. *)
+
+val supports : t -> Pmi_isa.Scheme.t -> bool
+val schemes : t -> Pmi_isa.Scheme.t list
+(** Schemes with an entry, ascending id. *)
+
+val size : t -> int
+val uop_count : t -> Pmi_isa.Scheme.t -> int
+(** Total µops of the scheme, counting multiplicity; 0 if unmapped. *)
+
+val copy : t -> t
+
+val normalize_usage : usage -> usage
+
+val usage_to_string : usage -> string
+(** e.g. ["2 x [0,1] + 1 x [2]"], or ["(none)"] for an empty usage. *)
+
+val equal_usage : usage -> usage -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One line per scheme. *)

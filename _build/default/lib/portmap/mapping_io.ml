@@ -1,0 +1,131 @@
+module Scheme = Pmi_isa.Scheme
+
+type error = { line : int; message : string }
+
+let usage_to_string usage =
+  String.concat " + "
+    (List.map
+       (fun (ports, n) -> Printf.sprintf "%dx%s" n (Portset.to_string ports))
+       usage)
+
+let to_string mapping =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "# port mapping: %d schemes\nports %d\n"
+       (Mapping.size mapping) (Mapping.num_ports mapping));
+  List.iter
+    (fun s ->
+       Buffer.add_string buf
+         (Printf.sprintf "scheme %S %s\n" (Scheme.name s)
+            (usage_to_string (Mapping.usage mapping s))))
+    (Mapping.schemes mapping);
+  Buffer.contents buf
+
+let write oc mapping = output_string oc (to_string mapping)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of string
+
+let parse_portset text =
+  (* "[6,7,8,9]" *)
+  let n = String.length text in
+  if n < 2 || text.[0] <> '[' || text.[n - 1] <> ']' then
+    raise (Parse ("malformed port set: " ^ text));
+  let inner = String.sub text 1 (n - 2) in
+  if inner = "" then raise (Parse "empty port set")
+  else begin
+    let ports =
+      List.map
+        (fun p ->
+           match int_of_string_opt (String.trim p) with
+           | Some v when v >= 0 -> v
+           | Some _ | None -> raise (Parse ("malformed port: " ^ p)))
+        (String.split_on_char ',' inner)
+    in
+    Portset.of_list ports
+  end
+
+let parse_uop text =
+  (* "2x[0,1]" *)
+  match String.index_opt text 'x' with
+  | None -> raise (Parse ("malformed µop: " ^ text))
+  | Some i ->
+    let count = String.sub text 0 i in
+    let ports = String.sub text (i + 1) (String.length text - i - 1) in
+    (match int_of_string_opt count with
+     | Some n when n > 0 -> (parse_portset ports, n)
+     | Some _ | None -> raise (Parse ("malformed µop count: " ^ count)))
+
+let parse_usage text =
+  (* "1x[5] + 1x[6,7,8,9]" *)
+  String.split_on_char '+' text
+  |> List.map (fun part -> parse_uop (String.trim part))
+
+(* A line is: scheme "<name>" <usage>.  The name may contain any character
+   except a double quote (scheme renderings never contain one). *)
+let parse_scheme_line line =
+  match String.index_opt line '"' with
+  | None -> raise (Parse "missing opening quote")
+  | Some start ->
+    (match String.index_from_opt line (start + 1) '"' with
+     | None -> raise (Parse "missing closing quote")
+     | Some stop ->
+       let name = String.sub line (start + 1) (stop - start - 1) in
+       let rest = String.sub line (stop + 1) (String.length line - stop - 1) in
+       (name, parse_usage (String.trim rest)))
+
+let of_string ~resolve text =
+  let lines = String.split_on_char '\n' text in
+  let mapping = ref None in
+  let result = ref (Ok ()) in
+  List.iteri
+    (fun idx raw ->
+       match !result with
+       | Error _ -> ()
+       | Ok () ->
+         let line = String.trim raw in
+         let fail message = result := Error { line = idx + 1; message } in
+         if line = "" || line.[0] = '#' then ()
+         else if String.length line > 6 && String.sub line 0 6 = "ports " then begin
+           match int_of_string_opt (String.trim (String.sub line 6 (String.length line - 6))) with
+           | Some n when n > 0 -> mapping := Some (Mapping.create ~num_ports:n)
+           | Some _ | None -> fail "malformed ports header"
+         end
+         else if String.length line > 7 && String.sub line 0 7 = "scheme " then begin
+           match !mapping with
+           | None -> fail "scheme record before the ports header"
+           | Some m ->
+             (match parse_scheme_line line with
+              | name, usage ->
+                (match resolve name with
+                 | Some scheme ->
+                   (try Mapping.set m scheme usage
+                    with Invalid_argument msg -> fail msg)
+                 | None -> fail ("unknown scheme: " ^ name))
+              | exception Parse msg -> fail msg)
+         end
+         else fail ("unrecognised line: " ^ line))
+    lines;
+  match (!result, !mapping) with
+  | Error e, _ -> Error e
+  | Ok (), Some m -> Ok m
+  | Ok (), None -> Error { line = 0; message = "missing ports header" }
+
+let resolver catalog =
+  let tbl = Hashtbl.create 4096 in
+  Array.iter
+    (fun s -> Hashtbl.replace tbl (Scheme.name s) s)
+    (Pmi_isa.Catalog.schemes catalog);
+  fun name -> Hashtbl.find_opt tbl name
+
+let read ~resolve ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  of_string ~resolve (Buffer.contents buf)

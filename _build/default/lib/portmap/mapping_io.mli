@@ -1,0 +1,36 @@
+(** Serialisation of port mappings.
+
+    The paper's artifact ships its inferred Zen+ mapping in both
+    human-readable and machine-readable form; this module provides the
+    same:  a line-oriented text format that survives round-trips and can be
+    consumed by downstream tools (compiler schedulers, throughput
+    predictors).
+
+    Format (one record per scheme, [#] starts a comment):
+
+    {v
+    ports 10
+    scheme "add <GPR[32]>, <GPR[32]>" 1x[6,7,8,9]
+    scheme "mov <MEM[32]>, <GPR[32]>" 1x[5] + 1x[6,7,8,9]
+    v} *)
+
+val to_string : Mapping.t -> string
+(** Schemes ascending by id, one per line. *)
+
+val write : out_channel -> Mapping.t -> unit
+
+type error = { line : int; message : string }
+
+val of_string :
+  resolve:(string -> Pmi_isa.Scheme.t option) -> string ->
+  (Mapping.t, error) result
+(** Parse a serialised mapping.  [resolve] maps the quoted scheme name back
+    to a catalog scheme (see {!resolver}); unknown schemes are an error, as
+    is any malformed line. *)
+
+val resolver : Pmi_isa.Catalog.t -> string -> Pmi_isa.Scheme.t option
+(** Name-based scheme lookup over a catalog. *)
+
+val read :
+  resolve:(string -> Pmi_isa.Scheme.t option) -> in_channel ->
+  (Mapping.t, error) result

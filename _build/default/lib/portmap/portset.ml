@@ -1,0 +1,53 @@
+type t = int
+
+let empty = 0
+
+let singleton p =
+  if p < 0 || p >= Sys.int_size - 1 then invalid_arg "Portset.singleton";
+  1 lsl p
+
+let add p s = s lor singleton p
+let of_list ports = List.fold_left (fun s p -> add p s) empty ports
+
+let to_list s =
+  let rec go acc p s =
+    if s = 0 then List.rev acc
+    else if s land 1 = 1 then go (p :: acc) (p + 1) (s lsr 1)
+    else go acc (p + 1) (s lsr 1)
+  in
+  go [] 0 s
+
+let full n =
+  if n < 0 || n >= Sys.int_size - 1 then invalid_arg "Portset.full";
+  (1 lsl n) - 1
+
+let mem p s = s land singleton p <> 0
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let proper_subset a b = subset a b && a <> b
+
+let cardinal s =
+  let rec go acc s = if s = 0 then acc else go (acc + (s land 1)) (s lsr 1) in
+  go 0 s
+
+let is_empty s = s = 0
+let equal (a : int) b = a = b
+let compare (a : int) b = Stdlib.compare a b
+let hash s = s
+
+let iter_subsets s f =
+  (* Standard submask enumeration: visits submasks in decreasing order,
+     finishing with the empty set. *)
+  let sub = ref s in
+  let continue = ref true in
+  while !continue do
+    f !sub;
+    if !sub = 0 then continue := false else sub := (!sub - 1) land s
+  done
+
+let to_string s =
+  "[" ^ String.concat "," (List.map string_of_int (to_list s)) ^ "]"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,40 @@
+(** Sets of execution ports, represented as bit sets.
+
+    A µop in the port-mapping model is characterised entirely by the set of
+    ports that may execute it, so this module doubles as the identity of
+    µop kinds throughout the code base. *)
+
+type t = private int
+
+val empty : t
+val singleton : int -> t
+val of_list : int list -> t
+val to_list : t -> int list
+(** Ascending port numbers. *)
+
+val full : int -> t
+(** [full n] contains ports [0 .. n-1]. *)
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] is true when [a ⊆ b]. *)
+
+val proper_subset : t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val iter_subsets : t -> (t -> unit) -> unit
+(** Enumerate every subset of the given set (including the empty set and the
+    set itself) without visiting any bit pattern outside it. *)
+
+val to_string : t -> string
+(** uops.info-style rendering, e.g. ["[0,1,5,6]"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/smt/card.ml: Array List Lit Sat

@@ -1,0 +1,1 @@
+lib/smt/card.mli: Lit Sat

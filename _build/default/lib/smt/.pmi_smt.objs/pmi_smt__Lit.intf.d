@@ -1,0 +1,1 @@
+lib/smt/lit.mli: Format

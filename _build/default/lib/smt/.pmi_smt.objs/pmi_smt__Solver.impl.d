@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array List Lit Sat

@@ -1,0 +1,42 @@
+(* Sequential-counter encoding: registers s_{i,j} mean "at least j of the
+   first i+1 literals are true".  Linear in n*k clauses and variables. *)
+
+let at_most solver lits k =
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  if k < 0 then Sat.add_clause solver []
+  else if k = 0 then
+    Array.iter (fun l -> Sat.add_clause solver [ Lit.negate l ]) lits
+  else if n > k then begin
+    (* regs.(i).(j) = s_{i+1, j+1} of the classical presentation. *)
+    let regs =
+      Array.init (n - 1) (fun _ -> Array.init k (fun _ -> Sat.fresh_var solver))
+    in
+    let s i j = Lit.pos regs.(i).(j) in
+    let not_s i j = Lit.neg_of_var regs.(i).(j) in
+    Sat.add_clause solver [ Lit.negate lits.(0); s 0 0 ];
+    for j = 1 to k - 1 do
+      Sat.add_clause solver [ not_s 0 j ]
+    done;
+    for i = 1 to n - 2 do
+      Sat.add_clause solver [ Lit.negate lits.(i); s i 0 ];
+      Sat.add_clause solver [ not_s (i - 1) 0; s i 0 ];
+      for j = 1 to k - 1 do
+        Sat.add_clause solver [ Lit.negate lits.(i); not_s (i - 1) (j - 1); s i j ];
+        Sat.add_clause solver [ not_s (i - 1) j; s i j ]
+      done;
+      Sat.add_clause solver [ Lit.negate lits.(i); not_s (i - 1) (k - 1) ]
+    done;
+    Sat.add_clause solver [ Lit.negate lits.(n - 1); not_s (n - 2) (k - 1) ]
+  end
+
+let at_least solver lits k =
+  let n = List.length lits in
+  if k > n then Sat.add_clause solver []
+  else if k = n then List.iter (fun l -> Sat.add_clause solver [ l ]) lits
+  else if k = 1 then Sat.add_clause solver lits
+  else if k > 0 then at_most solver (List.map Lit.negate lits) (n - k)
+
+let exactly solver lits k =
+  at_most solver lits k;
+  at_least solver lits k

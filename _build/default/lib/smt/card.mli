@@ -1,0 +1,13 @@
+(** Cardinality constraints over literals, via the sequential-counter
+    (Sinz 2005) encoding.  Auxiliary variables are allocated from the given
+    solver.  The port-mapping encoding uses these to pin each µop's number
+    of admissible ports to the value measured from its throughput. *)
+
+val at_most : Sat.t -> Lit.t list -> int -> unit
+(** [at_most s lits k] asserts that at most [k] of [lits] are true. *)
+
+val at_least : Sat.t -> Lit.t list -> int -> unit
+(** [at_least s lits k] asserts that at least [k] of [lits] are true. *)
+
+val exactly : Sat.t -> Lit.t list -> int -> unit
+(** [exactly s lits k] asserts that exactly [k] of [lits] are true. *)

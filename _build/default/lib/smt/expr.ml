@@ -1,0 +1,159 @@
+type t =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+let tt = True
+let ff = False
+let var v = Var v
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not e -> e
+  | (Var _ | And _ | Or _ | Imp _ | Iff _) as e -> Not e
+
+let conj es =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> gather acc rest
+    | False :: _ -> None
+    | And inner :: rest -> gather acc (inner @ rest)
+    | e :: rest -> gather (e :: acc) rest
+  in
+  match gather [] es with
+  | None -> False
+  | Some [] -> True
+  | Some [ e ] -> e
+  | Some es -> And es
+
+let disj es =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> gather acc rest
+    | True :: _ -> None
+    | Or inner :: rest -> gather acc (inner @ rest)
+    | e :: rest -> gather (e :: acc) rest
+  in
+  match gather [] es with
+  | None -> True
+  | Some [] -> False
+  | Some [ e ] -> e
+  | Some es -> Or es
+
+let imp a b =
+  match (a, b) with
+  | False, _ -> True
+  | True, b -> b
+  | a, False -> neg a
+  | _, True -> True
+  | a, b -> Imp (a, b)
+
+let iff a b =
+  match (a, b) with
+  | True, b -> b
+  | a, True -> a
+  | False, b -> neg b
+  | a, False -> neg a
+  | a, b -> Iff (a, b)
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+  | Imp (a, b) -> (not (eval env a)) || eval env b
+  | Iff (a, b) -> eval env a = eval env b
+
+let vars e =
+  let module IS = Set.Make (Int) in
+  let rec go acc = function
+    | True | False -> acc
+    | Var v -> IS.add v acc
+    | Not e -> go acc e
+    | And es | Or es -> List.fold_left go acc es
+    | Imp (a, b) | Iff (a, b) -> go (go acc a) b
+  in
+  IS.elements (go IS.empty e)
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not e -> 1 + size e
+  | And es | Or es -> List.fold_left (fun acc e -> acc + size e) 1 es
+  | Imp (a, b) | Iff (a, b) -> 1 + size a + size b
+
+(* Tseitin: [define solver e] returns a literal equivalent to [e] in every
+   model of the added definition clauses. *)
+let rec define solver = function
+  | True ->
+    let v = Sat.fresh_var solver in
+    Sat.add_clause solver [ Lit.pos v ];
+    Lit.pos v
+  | False ->
+    let v = Sat.fresh_var solver in
+    Sat.add_clause solver [ Lit.neg_of_var v ];
+    Lit.pos v
+  | Var v -> Lit.pos v
+  | Not e -> Lit.negate (define solver e)
+  | And es ->
+    let lits = List.map (define solver) es in
+    let d = Sat.fresh_var solver in
+    (* d -> l_i,  (/\ l_i) -> d *)
+    List.iter (fun l -> Sat.add_clause solver [ Lit.neg_of_var d; l ]) lits;
+    Sat.add_clause solver (Lit.pos d :: List.map Lit.negate lits);
+    Lit.pos d
+  | Or es ->
+    let lits = List.map (define solver) es in
+    let d = Sat.fresh_var solver in
+    (* l_i -> d,  d -> (\/ l_i) *)
+    List.iter (fun l -> Sat.add_clause solver [ Lit.pos d; Lit.negate l ]) lits;
+    Sat.add_clause solver (Lit.neg_of_var d :: lits);
+    Lit.pos d
+  | Imp (a, b) -> define solver (Or [ Not a; b ])
+  | Iff (a, b) ->
+    let la = define solver a in
+    let lb = define solver b in
+    let d = Sat.fresh_var solver in
+    Sat.add_clause solver [ Lit.neg_of_var d; Lit.negate la; lb ];
+    Sat.add_clause solver [ Lit.neg_of_var d; la; Lit.negate lb ];
+    Sat.add_clause solver [ Lit.pos d; la; lb ];
+    Sat.add_clause solver [ Lit.pos d; Lit.negate la; Lit.negate lb ];
+    Lit.pos d
+
+let assert_in solver e =
+  match e with
+  | True -> ()
+  | False -> Sat.add_clause solver []
+  | And es ->
+    (* Assert each conjunct directly: cheaper than defining the And. *)
+    List.iter (fun e -> Sat.add_clause solver [ define solver e ]) es
+  | (Var _ | Not _ | Or _ | Imp _ | Iff _) as e ->
+    Sat.add_clause solver [ define solver e ]
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Var v -> Format.fprintf ppf "x%d" v
+  | Not e -> Format.fprintf ppf "!%a" pp_atom e
+  | And es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " & ") pp)
+      es
+  | Or es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " | ") pp)
+      es
+  | Imp (a, b) -> Format.fprintf ppf "(%a -> %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf ppf "(%a <-> %a)" pp a pp b
+
+and pp_atom ppf e =
+  match e with
+  | True | False | Var _ | Not _ -> pp ppf e
+  | And _ | Or _ | Imp _ | Iff _ -> Format.fprintf ppf "(%a)" pp e

@@ -1,0 +1,48 @@
+(** Propositional formulas and Tseitin transformation.
+
+    The port-mapping encoding builds most of its CNF by hand (cardinality
+    networks, implication ladders), but ad-hoc side conditions are easier
+    to state as formulas.  This module provides a conventional formula AST
+    with structural smart constructors and an equisatisfiable CNF
+    translation that allocates auxiliary variables from the target
+    solver. *)
+
+type t =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+val tt : t
+val ff : t
+val var : int -> t
+val neg : t -> t
+(** Simplifying negation ([neg (neg x) = x], De-Morgan on constants). *)
+
+val conj : t list -> t
+(** Flattens nested conjunctions, drops [True], collapses on [False]. *)
+
+val disj : t list -> t
+val imp : t -> t -> t
+val iff : t -> t -> t
+
+val eval : (int -> bool) -> t -> bool
+(** Evaluate under an assignment. *)
+
+val vars : t -> int list
+(** Distinct variables, ascending. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val assert_in : Sat.t -> t -> unit
+(** Tseitin-transform the formula and add the clauses asserting it to the
+    solver.  Fresh definition variables are allocated from the solver, so
+    the result is equisatisfiable and every model of the extended solver
+    restricted to the original variables satisfies the formula. *)
+
+val pp : Format.formatter -> t -> unit

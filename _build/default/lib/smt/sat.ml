@@ -1,0 +1,349 @@
+(* MiniSat-style CDCL.  See sat.mli for the feature list.
+
+   Conventions:
+   - [value] is per *variable*: 0 undefined, 1 true, -1 false.
+   - A clause is an [int array] of literals; only clauses with at least two
+     literals live in the database, unit consequences go straight onto the
+     trail at level 0.
+   - Watch invariant: every database clause is watched by its first two
+     literals, and whenever a clause propagates, the propagated literal is
+     at index 0 (conflict analysis relies on this to skip the asserting
+     literal of reason clauses). *)
+
+type t = {
+  mutable clauses : int array array;
+  mutable n_clauses : int;
+  mutable watches : int list array;  (* indexed by literal *)
+  mutable value : int array;         (* per variable *)
+  mutable level : int array;
+  mutable reason : int array;        (* clause index, or -1 *)
+  mutable activity : float array;
+  mutable phase : bool array;
+  mutable seen : bool array;
+  mutable trail : int array;         (* literals, in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;
+  mutable n_levels : int;
+  mutable qhead : int;
+  mutable nvars : int;
+  mutable var_inc : float;
+  mutable ok : bool;
+  mutable conflicts : int;
+}
+
+type result =
+  | Sat of bool array
+  | Unsat
+
+let create () =
+  { clauses = Array.make 64 [||];
+    n_clauses = 0;
+    watches = Array.make 16 [];
+    value = Array.make 8 0;
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    activity = Array.make 8 0.0;
+    phase = Array.make 8 false;
+    seen = Array.make 8 false;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = Array.make 8 0;
+    n_levels = 0;
+    qhead = 0;
+    nvars = 0;
+    var_inc = 1.0;
+    ok = true;
+    conflicts = 0 }
+
+let grow_array arr len fill =
+  if Array.length arr >= len then arr
+  else begin
+    let out = Array.make (max len (2 * Array.length arr)) fill in
+    Array.blit arr 0 out 0 (Array.length arr);
+    out
+  end
+
+let fresh_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.value <- grow_array s.value s.nvars 0;
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars (-1);
+  s.activity <- grow_array s.activity s.nvars 0.0;
+  s.phase <- grow_array s.phase s.nvars false;
+  s.seen <- grow_array s.seen s.nvars false;
+  s.trail <- grow_array s.trail s.nvars 0;
+  s.watches <- grow_array s.watches (2 * s.nvars) [];
+  s.value.(v) <- 0;
+  s.level.(v) <- 0;
+  s.reason.(v) <- -1;
+  s.activity.(v) <- 0.0;
+  s.phase.(v) <- false;
+  s.seen.(v) <- false;
+  v
+
+let num_vars s = s.nvars
+let okay s = s.ok
+let num_conflicts s = s.conflicts
+
+let lit_value s l =
+  let v = s.value.(Lit.var l) in
+  if v = 0 then 0 else if Lit.is_pos l then v else -v
+
+let enqueue s lit reason =
+  let v = Lit.var lit in
+  assert (s.value.(v) = 0);
+  s.value.(v) <- (if Lit.is_pos lit then 1 else -1);
+  s.level.(v) <- s.n_levels;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- lit;
+  s.trail_size <- s.trail_size + 1
+
+let new_decision_level s =
+  s.trail_lim <- grow_array s.trail_lim (s.n_levels + 1) 0;
+  s.trail_lim.(s.n_levels) <- s.trail_size;
+  s.n_levels <- s.n_levels + 1
+
+let cancel_until s lvl =
+  if s.n_levels > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let lit = s.trail.(i) in
+      let v = Lit.var lit in
+      s.phase.(v) <- Lit.is_pos lit;
+      s.value.(v) <- 0;
+      s.reason.(v) <- -1
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.n_levels <- lvl
+  end
+
+(* Two-watched-literal unit propagation; returns the index of a conflicting
+   clause or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < s.trail_size do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let false_lit = Lit.negate p in
+    let watching = s.watches.(false_lit) in
+    s.watches.(false_lit) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest ->
+        let c = s.clauses.(ci) in
+        if c.(0) = false_lit then begin
+          c.(0) <- c.(1);
+          c.(1) <- false_lit
+        end;
+        if lit_value s c.(0) = 1 then begin
+          (* Clause already satisfied; keep the watch. *)
+          s.watches.(false_lit) <- ci :: s.watches.(false_lit);
+          process rest
+        end else begin
+          let len = Array.length c in
+          let rec find_watch k =
+            if k >= len then -1
+            else if lit_value s c.(k) >= 0 then k
+            else find_watch (k + 1)
+          in
+          let k = find_watch 2 in
+          if k >= 0 then begin
+            c.(1) <- c.(k);
+            c.(k) <- false_lit;
+            s.watches.(c.(1)) <- ci :: s.watches.(c.(1));
+            process rest
+          end else begin
+            s.watches.(false_lit) <- ci :: s.watches.(false_lit);
+            if lit_value s c.(0) = -1 then begin
+              (* Conflict: put the unprocessed suffix back. *)
+              s.watches.(false_lit) <-
+                List.rev_append rest s.watches.(false_lit);
+              s.qhead <- s.trail_size;
+              conflict := ci
+            end else begin
+              enqueue s c.(0) ci;
+              process rest
+            end
+          end
+        end
+    in
+    process watching
+  done;
+  !conflict
+
+let rescale_activities s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale_activities s
+
+let decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* First-UIP conflict analysis.  Returns the learnt clause (asserting literal
+   first) and the backjump level. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let to_clear = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let index = ref (s.trail_size - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c = s.clauses.(!confl) in
+    let start = if !p < 0 then 0 else 1 in
+    for j = start to Array.length c - 1 do
+      let q = c.(j) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump s v;
+        if s.level.(v) >= s.n_levels then incr path
+        else learnt := q :: !learnt
+      end
+    done;
+    (* Walk the trail back to the most recently assigned marked literal. *)
+    while not s.seen.(Lit.var s.trail.(!index)) do decr index done;
+    p := s.trail.(!index);
+    decr index;
+    s.seen.(Lit.var !p) <- false;
+    decr path;
+    if !path = 0 then continue := false
+    else confl := s.reason.(Lit.var !p)
+  done;
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  let asserting = Lit.negate !p in
+  let tail = !learnt in
+  let backjump =
+    List.fold_left (fun acc q -> max acc (s.level.(Lit.var q))) 0 tail
+  in
+  (asserting :: tail, backjump)
+
+let attach_clause s lits =
+  let ci = s.n_clauses in
+  if ci >= Array.length s.clauses then begin
+    let out = Array.make (2 * Array.length s.clauses) [||] in
+    Array.blit s.clauses 0 out 0 ci;
+    s.clauses <- out
+  end;
+  s.clauses.(ci) <- lits;
+  s.n_clauses <- ci + 1;
+  s.watches.(lits.(0)) <- ci :: s.watches.(lits.(0));
+  s.watches.(lits.(1)) <- ci :: s.watches.(lits.(1));
+  ci
+
+let add_clause s lits =
+  assert (s.n_levels = 0);
+  if s.ok then begin
+    (* Simplify: drop duplicates and root-level-false literals, detect
+       tautologies and root-level-satisfied clauses. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+    in
+    let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+    if not (tautology || satisfied) then begin
+      let lits = List.filter (fun l -> lit_value s l = 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        enqueue s l (-1);
+        if propagate s >= 0 then s.ok <- false
+      | l0 :: l1 :: rest ->
+        ignore (attach_clause s (Array.of_list (l0 :: l1 :: rest)))
+    end
+  end
+
+(* Install a learnt clause after backjumping and assert its first literal. *)
+let record_learnt s lits =
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] -> enqueue s l (-1)
+  | l0 :: rest ->
+    (* Watch the asserting literal and (one of) the highest-level others. *)
+    let arr = Array.of_list (l0 :: rest) in
+    let best = ref 1 in
+    for j = 2 to Array.length arr - 1 do
+      if s.level.(Lit.var arr.(j)) > s.level.(Lit.var arr.(!best)) then best := j
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    let ci = attach_clause s arr in
+    enqueue s l0 ci
+
+let pick_branch_var s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.value.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+let solve ?(assumptions = []) s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    let assumptions = Array.of_list assumptions in
+    let n_assumptions = Array.length assumptions in
+    let restart_budget = ref 100 in
+    let conflicts_here = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        incr conflicts_here;
+        if s.n_levels = 0 then begin
+          s.ok <- false;
+          result := Some Unsat
+        end else if s.n_levels <= n_assumptions then
+          (* The conflict only depends on assumptions and root clauses. *)
+          result := Some Unsat
+        else begin
+          let learnt, backjump = analyze s confl in
+          (* Never backjump into the middle of the assumption prefix with a
+             pending asserting literal that contradicts an assumption: the
+             learnt clause is still sound, and if it conflicts again we end
+             up in one of the terminating branches above. *)
+          cancel_until s backjump;
+          record_learnt s learnt;
+          decay s
+        end
+      end else if !conflicts_here >= !restart_budget then begin
+        conflicts_here := 0;
+        restart_budget := !restart_budget * 3 / 2;
+        cancel_until s 0
+      end else if s.n_levels < n_assumptions then begin
+        let a = assumptions.(s.n_levels) in
+        match lit_value s a with
+        | -1 -> result := Some Unsat
+        | 1 -> new_decision_level s (* vacuous level to keep indices aligned *)
+        | _ ->
+          new_decision_level s;
+          enqueue s a (-1)
+      end else begin
+        match pick_branch_var s with
+        | -1 ->
+          let model = Array.init s.nvars (fun v -> s.value.(v) = 1) in
+          result := Some (Sat model)
+        | v ->
+          new_decision_level s;
+          enqueue s (Lit.make v s.phase.(v)) (-1)
+      end
+    done;
+    cancel_until s 0;
+    match !result with
+    | Some r -> r
+    | None -> assert false
+  end

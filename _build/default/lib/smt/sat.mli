@@ -1,0 +1,35 @@
+(** An incremental CDCL SAT solver.
+
+    The implementation follows the MiniSat architecture: two-watched-literal
+    propagation, first-UIP conflict analysis with clause learning and
+    backjumping, VSIDS-style variable activities with decay, phase saving,
+    and geometric restarts.  Clauses may be added between [solve] calls,
+    which is what the counter-example-guided port-mapping inference relies
+    on: every refuted candidate mapping becomes a new clause. *)
+
+type t
+
+type result =
+  | Sat of bool array  (** model: polarity per variable *)
+  | Unsat
+
+val create : unit -> t
+
+val fresh_var : t -> int
+(** Allocate a new variable.  Variables are numbered consecutively from 0. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a disjunction of literals.  Adding the empty clause (or a clause
+    that simplifies to it) makes the solver permanently unsatisfiable. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve under the given assumptions.  The model of a [Sat] answer assigns
+    every allocated variable. *)
+
+val okay : t -> bool
+(** [false] once the clause database is unsatisfiable at level 0. *)
+
+val num_conflicts : t -> int
+(** Total conflicts encountered so far (statistics). *)

@@ -1,0 +1,31 @@
+type result =
+  | Sat of bool array
+  | Unsat
+
+let falsified_by model lits =
+  List.for_all
+    (fun l ->
+       let v = Lit.var l in
+       v < Array.length model && (if Lit.is_pos l then not model.(v) else model.(v)))
+    lits
+
+let solve ?(assumptions = []) ?(max_rounds = 100_000) ~check sat =
+  let rec loop round =
+    if round > max_rounds then failwith "Smt.Solver.solve: theory loop diverges"
+    else begin
+      match Sat.solve ~assumptions sat with
+      | Sat.Unsat -> Unsat
+      | Sat.Sat model ->
+        (match check model with
+         | [] -> Sat model
+         | lemmas ->
+           (* Progress guard: the rejected model must violate some lemma.
+              Lemmas may mention variables allocated after the model was
+              produced (e.g. fresh cardinality registers), which
+              [falsified_by] treats as unassigned-false. *)
+           assert (List.exists (falsified_by model) lemmas);
+           List.iter (Sat.add_clause sat) lemmas;
+           loop (round + 1))
+    end
+  in
+  loop 1

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Blocks Figure5 Float Heatmap List Metrics Pmi_eval Pmi_isa Pmi_machine Pmi_measure Pmi_portmap QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Catalog Hashtbl Iclass List Operand Pmi_isa QCheck2 QCheck_alcotest Scheme String

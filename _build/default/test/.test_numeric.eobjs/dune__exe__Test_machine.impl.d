@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Catalog Experiment Float List Machine Pmi_isa Pmi_machine Pmi_measure Pmi_numeric Pmi_portmap Printf QCheck2 QCheck_alcotest Scheme

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Bigint Float List Pmi_numeric Printf QCheck2 QCheck_alcotest Rat Simplex Stdlib String

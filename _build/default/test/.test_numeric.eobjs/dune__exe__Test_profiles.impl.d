@@ -1,0 +1,1 @@
+test/test_profiles.ml: Alcotest Blocking Catalog Lazy List Mapping Pipeline Pmi_core Pmi_isa Pmi_machine Pmi_measure Pmi_portmap Printf Scheme

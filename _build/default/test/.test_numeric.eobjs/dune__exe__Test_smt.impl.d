@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Card Expr Fun List Lit Pmi_smt QCheck2 QCheck_alcotest Sat Solver

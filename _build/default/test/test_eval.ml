@@ -1,0 +1,156 @@
+open Pmi_eval
+
+let feq = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mape () =
+  Alcotest.check feq "perfect" 0.0 (Metrics.mape [ (1.0, 1.0); (2.0, 2.0) ]);
+  Alcotest.check feq "50% off" 50.0 (Metrics.mape [ (1.5, 1.0) ]);
+  Alcotest.check feq "mixed" 25.0 (Metrics.mape [ (1.5, 1.0); (2.0, 2.0) ]);
+  Alcotest.check feq "zero measured skipped" 50.0
+    (Metrics.mape [ (1.5, 1.0); (3.0, 0.0) ]);
+  Alcotest.check feq "empty" 0.0 (Metrics.mape [])
+
+let test_pearson () =
+  Alcotest.check feq "perfect linear" 1.0
+    (Metrics.pearson [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ]);
+  Alcotest.check feq "anti-correlated" (-1.0)
+    (Metrics.pearson [ (1.0, 3.0); (2.0, 2.0); (3.0, 1.0) ]);
+  Alcotest.check feq "constant series" 0.0
+    (Metrics.pearson [ (1.0, 2.0); (1.0, 4.0); (1.0, 6.0) ]);
+  Alcotest.check feq "too short" 0.0 (Metrics.pearson [ (1.0, 1.0) ])
+
+let test_kendall () =
+  Alcotest.check feq "concordant" 1.0
+    (Metrics.kendall_tau [ (1.0, 1.0); (2.0, 2.0); (3.0, 3.0) ]);
+  Alcotest.check feq "discordant" (-1.0)
+    (Metrics.kendall_tau [ (1.0, 3.0); (2.0, 2.0); (3.0, 1.0) ]);
+  let mixed = Metrics.kendall_tau [ (1.0, 1.0); (2.0, 3.0); (3.0, 2.0) ] in
+  Alcotest.check feq "one swap" (1.0 /. 3.0) mixed
+
+let prop_pearson_bounded =
+  QCheck2.Test.make ~name:"pearson in [-1,1]" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 20)
+                   (pair (float_bound_exclusive 10.0) (float_bound_exclusive 10.0)))
+    (fun pairs ->
+       let r = Metrics.pearson pairs in
+       r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9)
+
+let prop_kendall_bounded =
+  QCheck2.Test.make ~name:"kendall in [-1,1]" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 15)
+                   (pair (float_bound_exclusive 10.0) (float_bound_exclusive 10.0)))
+    (fun pairs ->
+       let t = Metrics.kendall_tau pairs in
+       t >= -1.0 -. 1e-9 && t <= 1.0 +. 1e-9)
+
+let prop_mape_scale_invariant =
+  QCheck2.Test.make ~name:"mape invariant under scaling" ~count:100
+    QCheck2.Gen.(pair
+                   (list_size (int_range 1 10)
+                      (pair (float_range 0.1 10.0) (float_range 0.1 10.0)))
+                   (float_range 0.5 4.0))
+    (fun (pairs, k) ->
+       let scaled = List.map (fun (p, m) -> (k *. p, k *. m)) pairs in
+       Float.abs (Metrics.mape pairs -. Metrics.mape scaled) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Blocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let catalog = Pmi_isa.Catalog.reduced ~per_bucket:3 ()
+let schemes = Array.to_list (Pmi_isa.Catalog.schemes catalog)
+
+let test_spec_subset () =
+  let sub = Blocks.spec_subset ~size:10 schemes in
+  Alcotest.(check int) "size" 10 (List.length sub);
+  Alcotest.(check bool) "members of the input" true
+    (List.for_all (fun s -> List.memq s schemes) sub);
+  let again = Blocks.spec_subset ~size:10 schemes in
+  Alcotest.(check bool) "deterministic" true
+    (List.equal Pmi_isa.Scheme.equal sub again);
+  let all = Blocks.spec_subset ~size:100000 schemes in
+  Alcotest.(check int) "capped at input size" (List.length schemes)
+    (List.length all)
+
+let test_generate_blocks () =
+  let blocks = Blocks.generate ~count:25 ~block_size:5 schemes in
+  Alcotest.(check int) "count" 25 (List.length blocks);
+  List.iter
+    (fun b ->
+       Alcotest.(check int) "block size" 5 (Pmi_portmap.Experiment.length b))
+    blocks;
+  let again = Blocks.generate ~count:25 ~block_size:5 schemes in
+  Alcotest.(check bool) "deterministic" true
+    (List.equal Pmi_portmap.Experiment.equal blocks again)
+
+(* ------------------------------------------------------------------ *)
+(* Heatmap                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_heatmap_renders () =
+  let pairs = [ (1.0, 1.0); (2.5, 2.4); (4.9, 4.9); (7.0, 4.0) ] in
+  let h = Heatmap.make pairs in
+  let s = Heatmap.render h in
+  Alcotest.(check bool) "mentions axes" true
+    (String.length s > 0
+     && String.index_opt s '|' <> None
+     && String.index_opt s '[' <> None);
+  (* The 7-IPC overshoot forces rows beyond the measured range. *)
+  Alcotest.(check bool) "tall enough for overshoot" true
+    (List.length (String.split_on_char '\n' s) > 12)
+
+let test_heatmap_counts_preserved () =
+  let pairs = List.init 50 (fun i -> (float_of_int (i mod 5), 2.0)) in
+  let h = Heatmap.make pairs in
+  let rendered = Heatmap.render h in
+  (* Everything lands in one measured column: the column separator count
+     stays constant, and no exception occurred. *)
+  Alcotest.(check bool) "rendered" true (String.length rendered > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5 end-to-end (reduced)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure5_shape () =
+  let machine = Pmi_machine.Machine.create catalog in
+  let harness = Pmi_measure.Harness.create machine in
+  (* Use the ground truth as "our" mapping: the evaluation pipeline itself
+     is under test here, not the inference. *)
+  let mapping = Pmi_machine.Machine.ground_truth machine in
+  let options =
+    { Figure5.quick_options with
+      Figure5.scheme_subset = 30; block_count = 120 }
+  in
+  let fig = Figure5.run ~options harness ~mapping in
+  Alcotest.(check int) "blocks" 120 fig.Figure5.blocks_used;
+  Alcotest.(check bool) "ours beats PMEvo" true
+    (fig.Figure5.ours.Figure5.summary.Metrics.mape
+     < fig.Figure5.pmevo.Figure5.summary.Metrics.mape);
+  Alcotest.(check bool) "ours beats Palmed" true
+    (fig.Figure5.ours.Figure5.summary.Metrics.mape
+     < fig.Figure5.palmed.Figure5.summary.Metrics.mape);
+  Alcotest.(check bool) "ours strongly correlated" true
+    (fig.Figure5.ours.Figure5.summary.Metrics.pearson > 0.9)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "eval"
+    [ ("metrics",
+       [ Alcotest.test_case "mape" `Quick test_mape;
+         Alcotest.test_case "pearson" `Quick test_pearson;
+         Alcotest.test_case "kendall" `Quick test_kendall ]
+       @ qsuite [ prop_pearson_bounded; prop_kendall_bounded;
+                  prop_mape_scale_invariant ]);
+      ("blocks",
+       [ Alcotest.test_case "spec subset" `Quick test_spec_subset;
+         Alcotest.test_case "generation" `Quick test_generate_blocks ]);
+      ("heatmap",
+       [ Alcotest.test_case "renders" `Quick test_heatmap_renders;
+         Alcotest.test_case "dense column" `Quick test_heatmap_counts_preserved ]);
+      ("figure5",
+       [ Alcotest.test_case "end-to-end shape" `Slow test_figure5_shape ]) ]

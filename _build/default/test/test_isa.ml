@@ -1,0 +1,181 @@
+open Pmi_isa
+
+let catalog = Catalog.zen_plus ()
+
+(* ------------------------------------------------------------------ *)
+(* Funnel sizes (§4.1-§4.4, Table 1)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_size name = List.length (Catalog.bucket catalog name)
+
+let test_total_size () =
+  Alcotest.(check int) "2,980 instruction schemes" 2980 (Catalog.size catalog)
+
+let test_stage1_excluded () =
+  let total =
+    bucket_size "excluded/zero-uop" + bucket_size "excluded/fp-slow"
+    + bucket_size "excluded/mov64-imm" + bucket_size "excluded/high-byte"
+  in
+  Alcotest.(check int) "657 schemes excluded individually" 657 total
+
+let test_stage2_excluded () =
+  let total =
+    List.fold_left
+      (fun acc name ->
+         if String.length name >= 13 && String.sub name 0 13 = "unstable-pair" then
+           acc + bucket_size name
+         else acc)
+      0 (Catalog.bucket_names catalog)
+  in
+  Alcotest.(check int) "436 schemes excluded in pairing" 436 total
+
+let test_blocking_classes () =
+  let expected =
+    [ ("blocking/alu", 234); ("blocking/vec-logic", 21); ("blocking/vec-int", 30);
+      ("blocking/fp-mul-cmp", 143); ("blocking/shuffle", 50);
+      ("blocking/vec-sat", 17); ("blocking/fp-add", 10); ("blocking/load", 6);
+      ("blocking/vec-shift", 27); ("blocking/vec-mul-hard", 10);
+      ("blocking/scalar-mul", 9); ("blocking/fp-round", 4);
+      ("blocking/vec-to-gpr", 2) ]
+  in
+  List.iter
+    (fun (name, size) -> Alcotest.(check int) name size (bucket_size name))
+    expected;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 expected in
+  Alcotest.(check int) "563 blocking candidates" 563 total;
+  Alcotest.(check int) "13 blocking classes" 13 (List.length expected)
+
+let test_regular_and_other () =
+  let regular =
+    bucket_size "regular/ymm" + bucket_size "regular/vec-load"
+    + bucket_size "regular/ymm-load" + bucket_size "regular/scalar-load"
+    + bucket_size "regular/rmw"
+  in
+  Alcotest.(check int) "731 regular multi-µop schemes" 731 regular;
+  Alcotest.(check int) "146 microcoded" 146 (bucket_size "microcoded");
+  Alcotest.(check int) "119 unstable" 119 (bucket_size "unstable-tp")
+
+let test_excluded_mnemonics () =
+  let total =
+    bucket_size "excluded-mnemonic/imul-mem"
+    + bucket_size "excluded-mnemonic/vec-mul-hard-mem"
+    + bucket_size "excluded-mnemonic/vec-to-gpr-multi"
+  in
+  Alcotest.(check int) "47 same-mnemonic exclusions" 47 total
+
+(* ------------------------------------------------------------------ *)
+(* Scheme and operand behaviour                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ids_dense () =
+  Array.iteri
+    (fun i s -> Alcotest.(check int) "dense id" i (Scheme.id s))
+    (Catalog.schemes catalog)
+
+let test_names_unique () =
+  let names = Array.map Scheme.name (Catalog.schemes catalog) in
+  let tbl = Hashtbl.create 4096 in
+  Array.iter
+    (fun n ->
+       if Hashtbl.mem tbl n then Alcotest.failf "duplicate scheme name: %s" n;
+       Hashtbl.add tbl n ())
+    names
+
+let test_rendering () =
+  match Catalog.bucket catalog "blocking/load" with
+  | first :: _ ->
+    Alcotest.(check string) "uops.info style" "mov <GPR[32]>, <MEM[32]>"
+      (Scheme.name first)
+  | [] -> Alcotest.fail "empty load bucket"
+
+let test_memory_metadata () =
+  let load = List.hd (Catalog.bucket catalog "blocking/load") in
+  Alcotest.(check (list int)) "load reads" [ 32 ] (Scheme.memory_reads load);
+  Alcotest.(check (list int)) "load writes" [] (Scheme.memory_writes load);
+  Alcotest.(check bool) "loading mov" true (Scheme.is_loading_mov load);
+  let store = List.hd (Catalog.bucket catalog "store/scalar") in
+  Alcotest.(check bool) "store not loading-mov" false (Scheme.is_loading_mov store);
+  Alcotest.(check bool) "store writes memory" true (Scheme.memory_writes store <> []);
+  let rmw = List.hd (Catalog.bucket catalog "regular/rmw") in
+  Alcotest.(check bool) "rmw reads and writes" true
+    (Scheme.memory_reads rmw <> [] && Scheme.memory_writes rmw <> [])
+
+let test_bucket_of () =
+  let s = List.hd (Catalog.bucket catalog "microcoded") in
+  Alcotest.(check string) "bucket lookup" "microcoded" (Catalog.bucket_of catalog s)
+
+let test_macro_ops () =
+  let check bucket expected =
+    let s = List.hd (Catalog.bucket catalog bucket) in
+    Alcotest.(check int) bucket expected
+      (Iclass.macro_ops (Scheme.klass s).Iclass.structure)
+  in
+  check "blocking/alu" 1;
+  check "regular/ymm" 2;
+  check "regular/rmw" 1;
+  check "store/vec-ymm" 2
+
+let test_quirks_attached () =
+  let has_quirk bucket q =
+    List.for_all (fun s -> Scheme.quirk s = Some q) (Catalog.bucket catalog bucket)
+  in
+  Alcotest.(check bool) "imul anomaly" true
+    (has_quirk "blocking/scalar-mul" Iclass.Mul_anomaly);
+  Alcotest.(check bool) "vpmuldq slow" true
+    (has_quirk "blocking/vec-mul-hard" Iclass.Vec_mul_slow);
+  Alcotest.(check bool) "vmovd cross" true
+    (has_quirk "blocking/vec-to-gpr" Iclass.Gpr_cross);
+  Alcotest.(check bool) "microcode" true (has_quirk "microcoded" Iclass.Ms_microcode);
+  Alcotest.(check bool) "plain blocking" true
+    (List.for_all (fun s -> Scheme.quirk s = None) (Catalog.bucket catalog "blocking/alu"))
+
+let test_reduced_catalog () =
+  let small = Catalog.reduced ~per_bucket:3 () in
+  Alcotest.(check bool) "smaller" true (Catalog.size small < Catalog.size catalog);
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " capped") true
+         (List.length (Catalog.bucket small name) <= 3))
+    (Catalog.bucket_names small)
+
+let test_of_list () =
+  let c =
+    Catalog.of_list
+      [ ("foo", [ Operand.gpr 32 ], Iclass.plain (Iclass.Single Iclass.Alu)) ]
+  in
+  Alcotest.(check int) "size" 1 (Catalog.size c);
+  Alcotest.(check string) "name" "foo <GPR[32]>" (Scheme.name (Catalog.find c 0))
+
+let prop_variant_naming =
+  QCheck2.Test.make ~name:"variant suffix only for clones" ~count:50
+    (QCheck2.Gen.int_range 0 2979)
+    (fun id ->
+       let s = Catalog.find catalog id in
+       let name = Scheme.name s in
+       let has_suffix =
+         String.length name > 4 && String.contains name '{'
+       in
+       (* Variant 0 renders without a suffix, clones render with one. *)
+       if has_suffix then true
+       else String.index_opt name '{' = None)
+
+let () =
+  Alcotest.run "isa"
+    [ ("funnel",
+       [ Alcotest.test_case "total size" `Quick test_total_size;
+         Alcotest.test_case "stage-1 exclusions" `Quick test_stage1_excluded;
+         Alcotest.test_case "stage-2 exclusions" `Quick test_stage2_excluded;
+         Alcotest.test_case "blocking classes (Table 1)" `Quick test_blocking_classes;
+         Alcotest.test_case "regular/microcoded/unstable" `Quick test_regular_and_other;
+         Alcotest.test_case "same-mnemonic exclusions" `Quick test_excluded_mnemonics ]);
+      ("schemes",
+       [ Alcotest.test_case "dense ids" `Quick test_ids_dense;
+         Alcotest.test_case "unique names" `Quick test_names_unique;
+         Alcotest.test_case "rendering" `Quick test_rendering;
+         Alcotest.test_case "memory metadata" `Quick test_memory_metadata;
+         Alcotest.test_case "bucket lookup" `Quick test_bucket_of;
+         Alcotest.test_case "macro-op counts" `Quick test_macro_ops;
+         Alcotest.test_case "quirk tags" `Quick test_quirks_attached;
+         Alcotest.test_case "reduced catalog" `Quick test_reduced_catalog;
+         Alcotest.test_case "of_list" `Quick test_of_list;
+         QCheck_alcotest.to_alcotest prop_variant_naming ]) ]

@@ -1,0 +1,308 @@
+open Pmi_isa
+open Pmi_portmap
+open Pmi_machine
+module Rat = Pmi_numeric.Rat
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let catalog = Catalog.zen_plus ()
+let machine = Machine.create ~config:Machine.quiet_config catalog
+let noisy = Machine.create catalog
+
+let first bucket = List.hd (Catalog.bucket catalog bucket)
+let nth bucket n = List.nth (Catalog.bucket catalog bucket) n
+
+let add_rr = first "blocking/alu"       (* add <GPR[16]>... 4 ALU ports *)
+let vpor = first "blocking/vec-logic"
+let vpslld =
+  (* The immediate-shift form is a 1-port blocking instruction. *)
+  first "blocking/vec-shift"
+let imul = first "blocking/scalar-mul"
+let vpmuldq = first "blocking/vec-mul-hard"
+let vmovd = first "blocking/vec-to-gpr"
+let vmovq = nth "blocking/vec-to-gpr" 1
+let load_mov = first "blocking/load"
+let vminps = List.nth (Catalog.bucket catalog "blocking/fp-mul-cmp") 2
+let vaddps = first "blocking/fp-add"
+let vbroadcastss =
+  List.find (fun s -> Scheme.mnemonic s = "vbroadcastss")
+    (Catalog.bucket catalog "blocking/shuffle")
+let store_mov32 =
+  List.find (fun s -> Scheme.memory_writes s = [ 32 ])
+    (Catalog.bucket catalog "store/scalar")
+let vmovapd_store = first "store/vec"
+let nop = first "excluded/zero-uop"
+let fma = first "unstable-pair/fma-rr"
+let bsf = first "microcoded"
+let vdiv = first "excluded/fp-slow"
+
+let tp e = Machine.true_inverse machine e
+let exp1 s = Experiment.singleton s
+let mix pairs = Experiment.of_counts pairs
+
+(* ------------------------------------------------------------------ *)
+(* Baseline port behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_instruction_throughputs () =
+  (* A 4-port ALU op streams at 4/cycle; frontend allows 5/cycle. *)
+  Alcotest.check rat "add" (Rat.of_ints 1 4) (tp (exp1 add_rr));
+  Alcotest.check rat "vpor" (Rat.of_ints 1 4) (tp (exp1 vpor));
+  Alcotest.check rat "vpslld" Rat.one (tp (exp1 vpslld));
+  Alcotest.check rat "load" (Rat.of_ints 1 2) (tp (exp1 load_mov));
+  Alcotest.check rat "vminps" (Rat.of_ints 1 2) (tp (exp1 vminps));
+  Alcotest.check rat "vaddps" (Rat.of_ints 1 2) (tp (exp1 vaddps))
+
+let test_frontend_limit () =
+  (* Five 4-port adds would only need 1.25 cycles of ALU time but retire
+     at 5/cycle; ten need 2.5 cycles either way. *)
+  Alcotest.check rat "5 adds" (Rat.of_ints 5 4)
+    (tp (Experiment.replicate 5 add_rr));
+  (* Mixing ALU and FP work: 4 adds + 4 vpors = 8 instrs, ports give 1.0,
+     frontend gives 8/5 = 1.6. *)
+  Alcotest.check rat "frontend bound" (Rat.of_ints 8 5)
+    (tp (mix [ (add_rr, 4); (vpor, 4) ]))
+
+let test_nop_free () =
+  Alcotest.check rat "nop streams at 5 IPC" (Rat.of_ints 1 5) (tp (exp1 nop));
+  Alcotest.check rat "10 nops" (Rat.of_int 2) (tp (Experiment.replicate 10 nop));
+  Alcotest.(check int) "nop still retires" 1
+    (Machine.retired_ops machine (exp1 nop))
+
+(* ------------------------------------------------------------------ *)
+(* §4.1: the storing-mov evidence chain                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_mov_evidence () =
+  (* "A store-mov together with four simple register-additions takes 1.25
+     cycles" — its data µop is restricted to the four ALU ports. *)
+  Alcotest.check rat "store-mov + 4 adds" (Rat.of_ints 5 4)
+    (tp (mix [ (add_rr, 4); (store_mov32, 1) ]));
+  (* "A vmovapd store together with the four additions takes only 1.0" *)
+  Alcotest.check rat "vmovapd + 4 adds" Rat.one
+    (tp (mix [ (add_rr, 4); (vmovapd_store, 1) ]));
+  (* "A storing mov with a storing vmovapd leads to 2 cycles" — both need
+     the store port. *)
+  Alcotest.check rat "store-mov + vmovapd" (Rat.of_int 2)
+    (tp (mix [ (store_mov32, 1); (vmovapd_store, 1) ]))
+
+let test_macro_op_counter () =
+  (* The counter reports macro-ops: memory µops are fused (§4.1.1). *)
+  let add_load = first "regular/scalar-load" in
+  Alcotest.(check int) "add r,m = 1 macro-op" 1
+    (Machine.retired_ops machine (exp1 add_load));
+  let ymm = first "regular/ymm" in
+  Alcotest.(check int) "ymm = 2 macro-ops" 2 (Machine.retired_ops machine (exp1 ymm));
+  Alcotest.(check int) "bsf = 8 macro-ops" 8 (Machine.retired_ops machine (exp1 bsf));
+  Alcotest.(check int) "mixed" 12
+    (Machine.retired_ops machine (mix [ (add_rr, 2); (ymm, 1); (bsf, 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* §4.3 quirks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_imul_anomaly () =
+  (* imul alone is an ordinary 1-port instruction... *)
+  Alcotest.check rat "imul alone" Rat.one (tp (exp1 imul));
+  (* ...but 4 adds + 1 imul measure ~1.5 cycles, not the 1.0 or 1.25 the
+     port-mapping model would allow (§4.3). *)
+  Alcotest.check rat "4 add + imul" (Rat.of_ints 3 2)
+    (tp (mix [ (add_rr, 4); (imul, 1) ]))
+
+let test_vpmuldq_slow () =
+  (* Slightly slower than its single port implies: 1.05 cycles. *)
+  Alcotest.check rat "vpmuldq alone" (Rat.of_ints 21 20) (tp (exp1 vpmuldq));
+  (* Two of them are additive (same kind)... *)
+  Alcotest.check rat "2 vpmuldq" (Rat.of_ints 21 10)
+    (tp (Experiment.replicate 2 vpmuldq))
+
+let test_vmovd_inconsistent () =
+  (* Alone (or with its own family): an ordinary port-2 µop. *)
+  Alcotest.check rat "vmovd alone" Rat.one (tp (exp1 vmovd));
+  Alcotest.check rat "vmovd + vmovq additive" (Rat.of_int 2)
+    (tp (mix [ (vmovd, 1); (vmovq, 1) ]));
+  (* With a port-2 user from another family, the µop spreads over {1,2}:
+     the pair no longer behaves additively. *)
+  Alcotest.check rat "vmovd + vpslld NOT additive" Rat.one
+    (tp (mix [ (vmovd, 1); (vpslld, 1) ]))
+
+let test_fma_contradictions () =
+  (* fma alone looks like a clean 2-port instruction... *)
+  Alcotest.check rat "fma alone" (Rat.of_ints 1 2) (tp (exp1 fma));
+  (* ...additive with the FP-multiply class... *)
+  Alcotest.check rat "fma + vminps" Rat.one (tp (mix [ (fma, 1); (vminps, 1) ]));
+  (* ...but ALSO additive with the FP-add class (data lines of port 2),
+     while vminps and vaddps are NOT additive with each other: the
+     contradiction of §4.2. *)
+  Alcotest.check rat "fma + vaddps" Rat.one (tp (mix [ (fma, 1); (vaddps, 1) ]));
+  Alcotest.check rat "vminps + vaddps" (Rat.of_ints 1 2)
+    (tp (mix [ (vminps, 1); (vaddps, 1) ]));
+  Alcotest.check rat "fma + vbroadcastss" Rat.one
+    (tp (mix [ (fma, 1); (vbroadcastss, 1) ]))
+
+let test_microcode_stall () =
+  (* bsf: 8 ALU µops -> 2 cycles of port work, plus an 8-op MS stall at
+     4 ops/cycle -> 4 cycles total. *)
+  Alcotest.check rat "bsf alone" (Rat.of_int 4) (tp (exp1 bsf));
+  (* Surplus measured against flooded ALU ports is inflated by the stall:
+     32 adds alone take 8 cycles; with bsf, 10 port cycles + 2 stall. *)
+  Alcotest.check rat "32 adds" (Rat.of_int 8) (tp (Experiment.replicate 32 add_rr));
+  Alcotest.check rat "32 adds + bsf" (Rat.of_int 12)
+    (tp (mix [ (add_rr, 32); (bsf, 1) ]))
+
+let test_divider_occupancy () =
+  (* Non-pipelined divider: 4 cycles per instance on one port. *)
+  Alcotest.check rat "div alone" (Rat.of_int 4) (tp (exp1 vdiv));
+  Alcotest.check rat "2 divs" (Rat.of_int 8) (tp (Experiment.replicate 2 vdiv))
+
+(* ------------------------------------------------------------------ *)
+(* Intel-style counters (for the uops.info reference algorithm)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_true_uop_count () =
+  Alcotest.(check int) "add" 1 (Machine.true_uop_count machine (exp1 add_rr));
+  Alcotest.(check int) "store-mov" 2
+    (Machine.true_uop_count machine (exp1 store_mov32));
+  let rmw = first "regular/rmw" in
+  (* 16-bit rmw in bucket order: ALU + store + narrow AGU = 3 µops. *)
+  Alcotest.(check bool) "rmw has more µops than its macro-op" true
+    (Machine.true_uop_count machine (exp1 rmw)
+     > Machine.retired_ops machine (exp1 rmw))
+
+let test_port_uops_spread () =
+  (* A lone 4-port add round-robins over the whole ALU cluster: all four
+     counters tick, none of the others do. *)
+  let per_port = Machine.port_uops machine (Experiment.replicate 8 add_rr) in
+  Array.iteri
+    (fun k mass ->
+       let expected_active = List.mem k [ 6; 7; 8; 9 ] in
+       Alcotest.(check bool)
+         (Printf.sprintf "port %d %s" k (if expected_active then "busy" else "idle"))
+         expected_active
+         (Rat.sign mass > 0))
+    per_port;
+  (* Counter totals equal the µop count. *)
+  let total = Array.fold_left Rat.add Rat.zero per_port in
+  Alcotest.check rat "mass conserved" (Rat.of_int 8) total
+
+let test_port_uops_blocking_shape () =
+  (* Figure 3(a) on simulated counters: 3 blocking 1-port µops plus the
+     µop of the instruction under test that cannot evade. *)
+  let e = mix [ (vpslld, 3); (vbroadcastss, 1) ] in
+  let per_port = Machine.port_uops machine e in
+  (* vpslld floods port 2; vbroadcastss {1,2} evades to port 1. *)
+  Alcotest.check rat "port 2 holds the blockers" (Rat.of_int 3) per_port.(2);
+  Alcotest.check rat "port 1 holds the evader" Rat.one per_port.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Noise model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_measurement_deterministic () =
+  let e = mix [ (add_rr, 4); (vpor, 2) ] in
+  let a = Machine.measure_cycles noisy ~rep:3 e in
+  let b = Machine.measure_cycles noisy ~rep:3 e in
+  Alcotest.(check (float 0.0)) "same rep, same value" a b;
+  let c = Machine.measure_cycles noisy ~rep:4 e in
+  Alcotest.(check bool) "different rep jitters" true (a <> c)
+
+let test_noise_tiers () =
+  let within_rel pct value reference =
+    Float.abs (value -. reference) <= (pct *. reference)
+  in
+  let stable = mix [ (add_rr, 4); (vpor, 2) ] in
+  let t0 = Rat.to_float (Machine.true_inverse noisy stable) in
+  let m = Machine.measure_cycles noisy ~rep:1 stable in
+  Alcotest.(check bool) "stable within 0.5%" true (within_rel 0.005 m t0);
+  (* Unstable pairing: wide jitter when mixed, tight alone. *)
+  let cmov = first "unstable-pair/cmov-rr" in
+  let alone = Machine.measure_cycles noisy ~rep:1 (exp1 cmov) in
+  let t1 = Rat.to_float (Machine.true_inverse noisy (exp1 cmov)) in
+  Alcotest.(check bool) "unstable scheme tight alone" true
+    (within_rel 0.005 alone t1);
+  (* The unreliable tier applies even alone. *)
+  let imm64 = first "excluded/mov64-imm" in
+  let samples =
+    List.init 11 (fun rep -> Machine.measure_cycles noisy ~rep (exp1 imm64))
+  in
+  let t2 = Rat.to_float (Machine.true_inverse noisy (exp1 imm64)) in
+  let spread =
+    List.fold_left Float.max neg_infinity samples
+    -. List.fold_left Float.min infinity samples
+  in
+  Alcotest.(check bool) "imm64 spread is wide" true (spread > 0.05 *. t2)
+
+let test_harness_median_and_cache () =
+  let harness = Pmi_measure.Harness.create noisy in
+  let e = mix [ (add_rr, 4); (imul, 1) ] in
+  let s1 = Pmi_measure.Harness.run harness e in
+  let s2 = Pmi_measure.Harness.run harness e in
+  Alcotest.check rat "cached" s1.Pmi_measure.Harness.cycles s2.Pmi_measure.Harness.cycles;
+  Alcotest.(check int) "one benchmark" 1 (Pmi_measure.Harness.benchmarks_run harness);
+  (* Median of a stable measurement lands within ε of the truth. *)
+  let truth = Rat.to_float (Machine.true_inverse noisy e) in
+  let measured = Rat.to_float s1.Pmi_measure.Harness.cycles in
+  Alcotest.(check bool) "median near truth" true
+    (Float.abs (measured -. truth) < 0.02 *. float_of_int (Experiment.length e));
+  Alcotest.(check int) "retired ops" 5 s1.Pmi_measure.Harness.retired_ops
+
+let test_compare_epsilon () =
+  let open Pmi_measure.Harness.Compare in
+  Alcotest.(check bool) "equal within ε" true
+    (cpi_equal ~length:5 (Rat.of_ints 100 100) (Rat.of_ints 109 100));
+  Alcotest.(check bool) "unequal beyond ε" false
+    (cpi_equal ~length:5 (Rat.of_ints 100 100) (Rat.of_ints 111 100));
+  Alcotest.(check bool) "separated" true
+    (well_separated ~length:1 Rat.one (Rat.of_ints 3 2));
+  Alcotest.(check bool) "not separated" false
+    (well_separated ~length:1 Rat.one (Rat.of_ints 103 100))
+
+let prop_true_inverse_at_least_frontend =
+  QCheck2.Test.make ~name:"tp⁻¹ ≥ |e|/5 always" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 5) (int_range 0 (Catalog.size catalog - 1)))
+    (fun ids ->
+       let e = Experiment.of_list (List.map (Catalog.find catalog) ids) in
+       Rat.compare (Machine.true_inverse machine e)
+         (Rat.of_ints (Experiment.length e) 5)
+       >= 0)
+
+let prop_retired_ops_additive =
+  QCheck2.Test.make ~name:"retired ops are additive" ~count:200
+    QCheck2.Gen.(pair
+                   (list_size (int_range 1 4) (int_range 0 (Catalog.size catalog - 1)))
+                   (list_size (int_range 1 4) (int_range 0 (Catalog.size catalog - 1))))
+    (fun (ids1, ids2) ->
+       let e1 = Experiment.of_list (List.map (Catalog.find catalog) ids1) in
+       let e2 = Experiment.of_list (List.map (Catalog.find catalog) ids2) in
+       Machine.retired_ops machine (Experiment.union e1 e2)
+       = Machine.retired_ops machine e1 + Machine.retired_ops machine e2)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "machine"
+    [ ("ports",
+       [ Alcotest.test_case "single-instruction throughput" `Quick
+           test_single_instruction_throughputs;
+         Alcotest.test_case "frontend limit" `Quick test_frontend_limit;
+         Alcotest.test_case "nop/mov elimination" `Quick test_nop_free ]);
+      ("counters",
+       [ Alcotest.test_case "store-mov evidence (§4.1)" `Quick test_store_mov_evidence;
+         Alcotest.test_case "macro-op counter (§4.1.1)" `Quick test_macro_op_counter ]);
+      ("quirks",
+       [ Alcotest.test_case "imul anomaly (§4.3)" `Quick test_imul_anomaly;
+         Alcotest.test_case "vpmuldq slowdown (§4.3)" `Quick test_vpmuldq_slow;
+         Alcotest.test_case "vmovd inconsistency (§4.3)" `Quick test_vmovd_inconsistent;
+         Alcotest.test_case "fma contradictions (§4.2)" `Quick test_fma_contradictions;
+         Alcotest.test_case "microcode stall (§4.4)" `Quick test_microcode_stall;
+         Alcotest.test_case "divider occupancy (§4.1.2)" `Quick test_divider_occupancy ]);
+      ("counters-intel",
+       [ Alcotest.test_case "µop counter" `Quick test_true_uop_count;
+         Alcotest.test_case "per-port spread" `Quick test_port_uops_spread;
+         Alcotest.test_case "blocking shape" `Quick test_port_uops_blocking_shape ]);
+      ("noise",
+       [ Alcotest.test_case "deterministic" `Quick test_measurement_deterministic;
+         Alcotest.test_case "tiers" `Quick test_noise_tiers;
+         Alcotest.test_case "harness median/cache" `Quick test_harness_median_and_cache;
+         Alcotest.test_case "ε comparisons" `Quick test_compare_epsilon ]
+       @ qsuite [ prop_true_inverse_at_least_frontend; prop_retired_ops_additive ]) ]

@@ -1,0 +1,117 @@
+(* Portability of the inference across microarchitecture profiles (§3.5):
+   the same pipeline, without any Zen+-specific configuration, must
+   reconstruct the port structure of the Golden-Cove-like and A64FX-like
+   simulated designs. *)
+
+open Pmi_isa
+open Pmi_portmap
+open Pmi_core
+module Machine = Pmi_machine.Machine
+module Profile = Pmi_machine.Profile
+module Harness = Pmi_measure.Harness
+
+let test_profiles_valid () =
+  List.iter Profile.validate Profile.all;
+  Alcotest.(check int) "zen+ widest µop" 4 (Profile.max_port_set Profile.zen_plus);
+  Alcotest.(check int) "golden-cove widest µop" 5
+    (Profile.max_port_set Profile.golden_cove);
+  Alcotest.(check int) "a64fx widest µop" 3 (Profile.max_port_set Profile.a64fx)
+
+let test_profile_gap_enforced () =
+  let broken =
+    { Profile.zen_plus with
+      Profile.name = "broken"; r_max = Profile.max_port_set Profile.zen_plus }
+  in
+  Alcotest.(check bool) "validate raises" true
+    (try
+       Profile.validate broken;
+       false
+     with Invalid_argument _ -> true)
+
+(* Run the full pipeline on a profile once (memoised; three tests share each
+   run) and compare the final mapping against that profile's ground truth
+   wherever a usage was inferred. *)
+let run_profile_uncached profile =
+  let catalog = Catalog.reduced ~per_bucket:2 () in
+  let machine = Machine.create ~profile catalog in
+  let harness = Harness.create machine in
+  let result = Pipeline.run harness in
+  (catalog, machine, result)
+
+let golden_cove_run = lazy (run_profile_uncached Profile.golden_cove)
+let a64fx_run = lazy (run_profile_uncached Profile.a64fx)
+
+let run_profile profile =
+  if profile.Profile.name = Profile.golden_cove.Profile.name then
+    Lazy.force golden_cove_run
+  else Lazy.force a64fx_run
+
+let check_against_truth name machine result buckets =
+  let truth = Machine.ground_truth machine in
+  let catalog = Machine.catalog machine in
+  List.iter
+    (fun bucket ->
+       List.iter
+         (fun s ->
+            match Pipeline.verdict result s with
+            | Pipeline.Characterized { usage; spurious = false } ->
+              Alcotest.(check bool)
+                (Printf.sprintf "[%s] %s" name (Scheme.name s))
+                true
+                (Mapping.equal_usage usage (Mapping.usage truth s))
+            | Pipeline.Blocking_class _ ->
+              (match Mapping.find_opt result.Pipeline.mapping s with
+               | Some usage ->
+                 Alcotest.(check bool)
+                   (Printf.sprintf "[%s] class member %s" name (Scheme.name s))
+                   true
+                   (Mapping.equal_usage usage (Mapping.usage truth s))
+               | None ->
+                 Alcotest.failf "[%s] class member %s unmapped" name
+                   (Scheme.name s))
+            | Pipeline.Characterized { spurious = true; _ }
+            | Pipeline.Excluded_individual _ | Pipeline.Excluded_pairing
+            | Pipeline.Excluded_mnemonic | Pipeline.Unstable_result _ ->
+              Alcotest.failf "[%s] unexpected verdict for %s" name
+                (Scheme.name s))
+         (Catalog.bucket catalog bucket))
+    buckets
+
+let regular_buckets =
+  [ "blocking/vec-int"; "blocking/fp-add"; "regular/scalar-load";
+    "regular/ymm"; "regular/rmw" ]
+
+let test_golden_cove_pipeline () =
+  let _, machine, result = run_profile Profile.golden_cove in
+  Alcotest.(check bool) "classes found" true
+    (List.length result.Pipeline.filtering.Blocking.classes >= 10);
+  check_against_truth "golden-cove" machine result regular_buckets
+
+let test_a64fx_pipeline () =
+  let _, machine, result = run_profile Profile.a64fx in
+  (* Several one-port classes share a port on this profile, so the class
+     count legitimately drops below 13. *)
+  Alcotest.(check bool) "classes found" true
+    (List.length result.Pipeline.filtering.Blocking.classes >= 8);
+  check_against_truth "a64fx" machine result regular_buckets
+
+let test_profile_culprits_found () =
+  (* The §4.3 anomalies are modelled on every profile; the culprit search
+     must still identify the scalar-multiply anomaly. *)
+  let _, _, result = run_profile Profile.golden_cove in
+  Alcotest.(check bool) "imul removed" true
+    (List.exists
+       (fun k ->
+          Scheme.mnemonic k.Blocking.representative = "imul"
+          || Scheme.mnemonic k.Blocking.representative = "vpmuldq")
+       result.Pipeline.removed_classes)
+
+let () =
+  Alcotest.run "profiles"
+    [ ("definitions",
+       [ Alcotest.test_case "all valid" `Quick test_profiles_valid;
+         Alcotest.test_case "§3.4 gap enforced" `Quick test_profile_gap_enforced ]);
+      ("portability",
+       [ Alcotest.test_case "golden-cove pipeline" `Slow test_golden_cove_pipeline;
+         Alcotest.test_case "a64fx pipeline" `Slow test_a64fx_pipeline;
+         Alcotest.test_case "culprit detection" `Slow test_profile_culprits_found ]) ]

@@ -1,0 +1,385 @@
+open Pmi_smt
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lit_encoding () =
+  let l = Lit.pos 5 in
+  Alcotest.(check int) "var" 5 (Lit.var l);
+  Alcotest.(check bool) "pos" true (Lit.is_pos l);
+  let n = Lit.negate l in
+  Alcotest.(check int) "neg var" 5 (Lit.var n);
+  Alcotest.(check bool) "neg polarity" false (Lit.is_pos n);
+  Alcotest.(check int) "double negate" l (Lit.negate n);
+  Alcotest.(check int) "make" (Lit.neg_of_var 3) (Lit.make 3 false)
+
+(* ------------------------------------------------------------------ *)
+(* SAT solver unit tests                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_sat = function Sat.Sat _ -> true | Sat.Unsat -> false
+
+let test_sat_trivial () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos a ];
+  (match Sat.solve s with
+   | Sat.Sat model -> Alcotest.(check bool) "a true" true model.(a)
+   | Sat.Unsat -> Alcotest.fail "unexpected unsat")
+
+let test_sat_contradiction () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos a ];
+  Sat.add_clause s [ Lit.neg_of_var a ];
+  Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s));
+  Alcotest.(check bool) "not okay" false (Sat.okay s)
+
+let test_sat_implication_chain () =
+  (* a & (a -> b) & (b -> c) & (c -> d): all forced true. *)
+  let s = Sat.create () in
+  let vars = Array.init 4 (fun _ -> Sat.fresh_var s) in
+  Sat.add_clause s [ Lit.pos vars.(0) ];
+  for i = 0 to 2 do
+    Sat.add_clause s [ Lit.neg_of_var vars.(i); Lit.pos vars.(i + 1) ]
+  done;
+  match Sat.solve s with
+  | Sat.Sat model ->
+    Array.iter (fun v -> Alcotest.(check bool) "forced" true model.(v)) vars
+  | Sat.Unsat -> Alcotest.fail "unexpected unsat"
+
+let test_sat_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small UNSAT instance. *)
+  let s = Sat.create () in
+  let v = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Sat.fresh_var s)) in
+  for p = 0 to 2 do
+    Sat.add_clause s [ Lit.pos v.(p).(0); Lit.pos v.(p).(1) ]
+  done;
+  for h = 0 to 1 do
+    for p1 = 0 to 2 do
+      for p2 = p1 + 1 to 2 do
+        Sat.add_clause s [ Lit.neg_of_var v.(p1).(h); Lit.neg_of_var v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s))
+
+let test_sat_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  let b = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.neg_of_var a; Lit.pos b ];
+  (match Sat.solve ~assumptions:[ Lit.pos a; Lit.neg_of_var b ] s with
+   | Sat.Unsat -> ()
+   | Sat.Sat _ -> Alcotest.fail "assumptions should conflict");
+  (* The solver must remain usable and satisfiable without assumptions. *)
+  Alcotest.(check bool) "still sat" true (is_sat (Sat.solve s));
+  match Sat.solve ~assumptions:[ Lit.pos a ] s with
+  | Sat.Sat model -> Alcotest.(check bool) "b forced" true model.(b)
+  | Sat.Unsat -> Alcotest.fail "should be sat under a"
+
+let test_sat_incremental () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  let b = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos a; Lit.pos b ];
+  Alcotest.(check bool) "sat" true (is_sat (Sat.solve s));
+  Sat.add_clause s [ Lit.neg_of_var a ];
+  (match Sat.solve s with
+   | Sat.Sat model -> Alcotest.(check bool) "b" true model.(b)
+   | Sat.Unsat -> Alcotest.fail "unexpected unsat");
+  Sat.add_clause s [ Lit.neg_of_var b ];
+  Alcotest.(check bool) "unsat after both" false (is_sat (Sat.solve s))
+
+(* Property: agreement with brute force on random small CNFs. *)
+
+let brute_force_sat num_vars clauses =
+  let rec go assignment v =
+    if v = num_vars then
+      List.for_all
+        (fun clause ->
+           List.exists
+             (fun l ->
+                let value = assignment.(Lit.var l) in
+                if Lit.is_pos l then value else not value)
+             clause)
+        clauses
+    else begin
+      assignment.(v) <- true;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make num_vars false) 0
+
+let cnf_gen =
+  let open QCheck2.Gen in
+  let num_vars = int_range 1 8 in
+  num_vars >>= fun n ->
+  let lit = map2 (fun v pos -> Lit.make v pos) (int_range 0 (n - 1)) bool in
+  let clause = list_size (int_range 1 4) lit in
+  map (fun clauses -> (n, clauses)) (list_size (int_range 1 25) clause)
+
+let prop_sat_matches_brute_force =
+  QCheck2.Test.make ~name:"CDCL matches brute force" ~count:300 cnf_gen
+    (fun (n, clauses) ->
+       let s = Sat.create () in
+       for _ = 1 to n do
+         ignore (Sat.fresh_var s)
+       done;
+       List.iter (Sat.add_clause s) clauses;
+       let expected = brute_force_sat n clauses in
+       match Sat.solve s with
+       | Sat.Sat model ->
+         (* The model must actually satisfy all clauses. *)
+         expected
+         && List.for_all
+              (List.exists (fun l ->
+                   if Lit.is_pos l then model.(Lit.var l)
+                   else not model.(Lit.var l)))
+              clauses
+       | Sat.Unsat -> not expected)
+
+(* Stress: random 3-SAT near the phase transition.  Whatever the verdict,
+   a returned model must satisfy every clause, and the solver must finish
+   (no watched-literal corruption, no lost clauses across restarts). *)
+let prop_sat_3sat_stress =
+  let gen =
+    let open QCheck2.Gen in
+    let n = 40 in
+    let lit = map2 (fun v pos -> Lit.make v pos) (int_range 0 (n - 1)) bool in
+    let clause =
+      map (fun (a, b, c) -> [ a; b; c ]) (triple lit lit lit)
+    in
+    map (fun clauses -> (n, clauses)) (list_repeat 170 clause)
+  in
+  QCheck2.Test.make ~name:"3-SAT stress: models verify" ~count:50 gen
+    (fun (n, clauses) ->
+       let s = Sat.create () in
+       for _ = 1 to n do
+         ignore (Sat.fresh_var s)
+       done;
+       List.iter (Sat.add_clause s) clauses;
+       match Sat.solve s with
+       | Sat.Sat model ->
+         List.for_all
+           (List.exists (fun l ->
+                if Lit.is_pos l then model.(Lit.var l) else not model.(Lit.var l)))
+           clauses
+       | Sat.Unsat -> true)
+
+let test_sat_pigeonhole_6_5 () =
+  (* A harder UNSAT instance exercising clause learning and restarts. *)
+  let s = Sat.create () in
+  let v = Array.init 6 (fun _ -> Array.init 5 (fun _ -> Sat.fresh_var s)) in
+  for p = 0 to 5 do
+    Sat.add_clause s (Array.to_list (Array.map Lit.pos v.(p)))
+  done;
+  for h = 0 to 4 do
+    for p1 = 0 to 5 do
+      for p2 = p1 + 1 to 5 do
+        Sat.add_clause s [ Lit.neg_of_var v.(p1).(h); Lit.neg_of_var v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s));
+  Alcotest.(check bool) "learned something" true (Sat.num_conflicts s > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality constraints                                             *)
+(* ------------------------------------------------------------------ *)
+
+let count_true model vars =
+  List.length (List.filter (fun v -> model.(v)) vars)
+
+let solve_card build =
+  let s = Sat.create () in
+  let vars = List.init 6 (fun _ -> Sat.fresh_var s) in
+  build s (List.map Lit.pos vars);
+  (s, vars)
+
+let test_card_at_most () =
+  let s, vars = solve_card (fun s lits -> Card.at_most s lits 2) in
+  (* Force three variables true: must be unsat. *)
+  (match
+     Sat.solve
+       ~assumptions:(List.map Lit.pos [ List.nth vars 0; List.nth vars 1; List.nth vars 2 ])
+       s
+   with
+   | Sat.Unsat -> ()
+   | Sat.Sat _ -> Alcotest.fail "3 > 2 should conflict");
+  match Sat.solve ~assumptions:(List.map Lit.pos [ List.nth vars 0; List.nth vars 4 ]) s with
+  | Sat.Sat model ->
+    Alcotest.(check bool) "≤ 2 true" true (count_true model vars <= 2)
+  | Sat.Unsat -> Alcotest.fail "2 ≤ 2 should be sat"
+
+let test_card_at_least () =
+  let s, vars = solve_card (fun s lits -> Card.at_least s lits 4) in
+  match Sat.solve s with
+  | Sat.Sat model ->
+    Alcotest.(check bool) "≥ 4 true" true (count_true model vars >= 4)
+  | Sat.Unsat -> Alcotest.fail "at_least 4 of 6 is satisfiable"
+
+let test_card_exactly () =
+  let s, vars = solve_card (fun s lits -> Card.exactly s lits 3) in
+  match Sat.solve s with
+  | Sat.Sat model -> Alcotest.(check int) "exactly 3" 3 (count_true model vars)
+  | Sat.Unsat -> Alcotest.fail "exactly 3 of 6 is satisfiable"
+
+let test_card_edge_cases () =
+  (* k = 0 forbids everything. *)
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  Card.at_most s [ Lit.pos a ] 0;
+  (match Sat.solve s with
+   | Sat.Sat model -> Alcotest.(check bool) "a false" false model.(a)
+   | Sat.Unsat -> Alcotest.fail "sat expected");
+  (* k = n is vacuous. *)
+  let s2 = Sat.create () in
+  let b = Sat.fresh_var s2 in
+  Card.at_most s2 [ Lit.pos b ] 1;
+  Alcotest.(check bool) "vacuous" true
+    (match Sat.solve s2 with Sat.Sat _ -> true | Sat.Unsat -> false);
+  (* at_least more than available is unsat. *)
+  let s3 = Sat.create () in
+  let c = Sat.fresh_var s3 in
+  Card.at_least s3 [ Lit.pos c ] 2;
+  Alcotest.(check bool) "impossible at_least" false
+    (match Sat.solve s3 with Sat.Sat _ -> true | Sat.Unsat -> false)
+
+let prop_card_exactly_counts =
+  QCheck2.Test.make ~name:"exactly-k models have k true vars" ~count:100
+    QCheck2.Gen.(pair (int_range 1 7) (int_range 0 7))
+    (fun (n, k) ->
+       QCheck2.assume (k <= n);
+       let s = Sat.create () in
+       let vars = List.init n (fun _ -> Sat.fresh_var s) in
+       Card.exactly s (List.map Lit.pos vars) k;
+       match Sat.solve s with
+       | Sat.Sat model -> count_true model vars = k
+       | Sat.Unsat -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Expr: formulas and Tseitin transformation                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_smart_constructors () =
+  let x = Expr.var 0 and y = Expr.var 1 in
+  Alcotest.(check bool) "neg neg" true (Expr.neg (Expr.neg x) = x);
+  Alcotest.(check bool) "conj true unit" true (Expr.conj [ Expr.tt; x ] = x);
+  Alcotest.(check bool) "conj false" true
+    (Expr.conj [ x; Expr.ff; y ] = Expr.ff);
+  Alcotest.(check bool) "disj false unit" true (Expr.disj [ Expr.ff; y ] = y);
+  Alcotest.(check bool) "imp from false" true (Expr.imp Expr.ff x = Expr.tt);
+  Alcotest.(check bool) "iff with true" true (Expr.iff Expr.tt x = x);
+  Alcotest.(check (list int)) "vars" [ 0; 1 ]
+    (Expr.vars (Expr.conj [ x; Expr.neg y; x ]))
+
+let expr_gen =
+  let open QCheck2.Gen in
+  let num_vars = 5 in
+  sized_size (int_range 0 4) @@ fix (fun self n ->
+      if n = 0 then
+        oneof
+          [ map Expr.var (int_range 0 (num_vars - 1));
+            return Expr.tt; return Expr.ff ]
+      else
+        oneof
+          [ map Expr.var (int_range 0 (num_vars - 1));
+            map Expr.neg (self (n - 1));
+            map2 (fun a b -> Expr.conj [ a; b ]) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Expr.disj [ a; b ]) (self (n / 2)) (self (n / 2));
+            map2 Expr.imp (self (n / 2)) (self (n / 2));
+            map2 Expr.iff (self (n / 2)) (self (n / 2)) ])
+
+let brute_force_expr e =
+  let rec go env = function
+    | [] -> Expr.eval (fun v -> List.assoc v env) e
+    | v :: rest -> go ((v, true) :: env) rest || go ((v, false) :: env) rest
+  in
+  go [] (List.init 5 Fun.id)
+
+let prop_tseitin_equisatisfiable =
+  QCheck2.Test.make ~name:"Tseitin preserves satisfiability" ~count:300 expr_gen
+    (fun e ->
+       let s = Sat.create () in
+       for _ = 1 to 5 do
+         ignore (Sat.fresh_var s)
+       done;
+       Expr.assert_in s e;
+       match Sat.solve s with
+       | Sat.Sat model -> Expr.eval (fun v -> model.(v)) e
+       | Sat.Unsat -> not (brute_force_expr e))
+
+let prop_expr_eval_neg =
+  QCheck2.Test.make ~name:"eval of negation flips" ~count:200 expr_gen
+    (fun e ->
+       let env v = v mod 2 = 0 in
+       Expr.eval env (Expr.neg e) = not (Expr.eval env e))
+
+(* ------------------------------------------------------------------ *)
+(* Theory (CEGAR) driver                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_theory_loop () =
+  (* Boolean skeleton: any subset of 4 vars.  Theory: "exactly the set
+     {1,3} is allowed", communicated only through refutation lemmas. *)
+  let s = Sat.create () in
+  let vars = Array.init 4 (fun _ -> Sat.fresh_var s) in
+  let target = [ false; true; false; true ] in
+  let check model =
+    let lemmas = ref [] in
+    List.iteri
+      (fun i want ->
+         if model.(vars.(i)) <> want then
+           lemmas := [ Lit.make vars.(i) want ] :: !lemmas)
+      target;
+    !lemmas
+  in
+  match Solver.solve ~check s with
+  | Solver.Sat model ->
+    List.iteri
+      (fun i want -> Alcotest.(check bool) "theory model" want model.(vars.(i)))
+      target
+  | Solver.Unsat -> Alcotest.fail "theory-consistent model exists"
+
+let test_theory_unsat () =
+  (* The theory rejects every model of a 1-variable skeleton. *)
+  let s = Sat.create () in
+  let v = Sat.fresh_var s in
+  let check model =
+    [ [ Lit.make v (not model.(v)) ] ]
+  in
+  match Solver.solve ~check s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "theory rejects everything"
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "smt"
+    [ ("lit", [ Alcotest.test_case "encoding" `Quick test_lit_encoding ]);
+      ("sat",
+       [ Alcotest.test_case "trivial" `Quick test_sat_trivial;
+         Alcotest.test_case "contradiction" `Quick test_sat_contradiction;
+         Alcotest.test_case "implication chain" `Quick test_sat_implication_chain;
+         Alcotest.test_case "pigeonhole 3/2" `Quick test_sat_pigeonhole_3_2;
+         Alcotest.test_case "assumptions" `Quick test_sat_assumptions;
+         Alcotest.test_case "incremental" `Quick test_sat_incremental;
+         Alcotest.test_case "pigeonhole 6/5" `Slow test_sat_pigeonhole_6_5 ]
+       @ qsuite [ prop_sat_matches_brute_force; prop_sat_3sat_stress ]);
+      ("card",
+       [ Alcotest.test_case "at_most" `Quick test_card_at_most;
+         Alcotest.test_case "at_least" `Quick test_card_at_least;
+         Alcotest.test_case "exactly" `Quick test_card_exactly;
+         Alcotest.test_case "edge cases" `Quick test_card_edge_cases ]
+       @ qsuite [ prop_card_exactly_counts ]);
+      ("expr",
+       [ Alcotest.test_case "smart constructors" `Quick test_expr_smart_constructors ]
+       @ qsuite [ prop_tseitin_equisatisfiable; prop_expr_eval_neg ]);
+      ("theory",
+       [ Alcotest.test_case "cegar loop" `Quick test_theory_loop;
+         Alcotest.test_case "theory unsat" `Quick test_theory_unsat ]) ]
