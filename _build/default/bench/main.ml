@@ -1,6 +1,11 @@
 (* Benchmark harness: one bechamel test per reproduced table/figure (on
    reduced catalogs so a run stays in the minutes) plus the ablation
-   micro-benchmarks called out in DESIGN.md. *)
+   micro-benchmarks called out in DESIGN.md.
+
+   Flags:
+     --smoke        run every benchmark body exactly once (no bechamel)
+     --json FILE    write the measured results as a JSON array of
+                    {name, ns_per_run} records *)
 
 open Bechamel
 open Toolkit
@@ -10,6 +15,7 @@ open Pmi_core
 module Rat = Pmi_numeric.Rat
 module Machine = Pmi_machine.Machine
 module Harness = Pmi_measure.Harness
+module Pool = Pmi_parallel.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (built once, outside the timed region)              *)
@@ -54,7 +60,8 @@ let zen_block =
 let reduced_harness () =
   Harness.create (Machine.create (Catalog.reduced ~per_bucket:2 ()))
 
-let cegis_toy ~symmetry_breaking ~max_size () =
+let cegis_toy ?(incremental_sat = true) ?(memoized_oracle = true)
+    ~symmetry_breaking ~max_size () =
   let truth = Mapping.create ~num_ports:3 in
   Mapping.set truth toy_add [ (Portset.of_list [ 0; 1 ], 1) ];
   Mapping.set truth toy_mul [ (Portset.of_list [ 1; 2 ], 1) ];
@@ -62,7 +69,7 @@ let cegis_toy ~symmetry_breaking ~max_size () =
   let config =
     { Cegis.default_config with
       Cegis.num_ports = 3; r_max = 4; max_experiment_size = max_size;
-      symmetry_breaking }
+      symmetry_breaking; incremental_sat; memoized_oracle }
   in
   let measure e = Cegis.modeled_inverse config truth e in
   let specs =
@@ -83,29 +90,64 @@ let eval_schemes =
 let eval_blocks =
   Pmi_eval.Blocks.generate ~count:50 ~block_size:5 eval_schemes
 
+(* A larger sweep for the domain-pool benchmarks, so the per-item work
+   amortises the domain spawns. *)
+let sweep_blocks =
+  Pmi_eval.Blocks.generate ~seed:7 ~count:800 ~block_size:5 eval_schemes
+
 let ground_truth = Machine.ground_truth zen_machine
 
-(* ------------------------------------------------------------------ *)
-(* Tests                                                               *)
-(* ------------------------------------------------------------------ *)
+let zen_oracle =
+  let o = Oracle.create ground_truth in
+  Oracle.prepare o (Experiment.schemes zen_block);
+  Oracle.prepare o eval_schemes;
+  o
 
-let test name f = Test.make ~name (Staged.stage f)
+(* Standing accumulator holding [zen_block]; the incremental benchmark
+   perturbs it by one scheme, queries, and restores it. *)
+let zen_acc =
+  let acc = Oracle.Acc.create zen_oracle in
+  List.iter
+    (fun (s, n) -> Oracle.Acc.add acc s n)
+    (Experiment.to_counts zen_block);
+  acc
+
+let acc_delta = List.hd (Experiment.schemes zen_block)
+
+let predict_sweep domains =
+  ignore
+    (Pool.map_list ~domains
+       (fun e -> Oracle.inverse_bounded ~r_max:5 zen_oracle e)
+       sweep_blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Tests: (name, body) pairs, shared by bechamel and the smoke mode    *)
+(* ------------------------------------------------------------------ *)
 
 let micro_tests =
   [ (* Ablation: the bottleneck-set formula vs the explicit simplex LP. *)
-    test "oracle/bottleneck-formula" (fun () ->
+    ("oracle/bottleneck-formula", fun () ->
         ignore (Throughput.inverse toy_mapping toy_experiment));
-    test "oracle/simplex-lp" (fun () ->
+    ("oracle/simplex-lp", fun () ->
         ignore (Lp_model.inverse toy_mapping toy_experiment));
-    test "oracle/zen-block" (fun () ->
+    (* Naive baseline vs the memoized oracle on the same Zen block. *)
+    ("oracle/zen-block", fun () ->
         ignore (Throughput.inverse_bounded ~r_max:5 ground_truth zen_block));
+    ("oracle/memoized-full", fun () ->
+        ignore (Oracle.inverse_bounded ~r_max:5 zen_oracle zen_block));
+    ("oracle/memoized", fun () ->
+        (* ±one scheme on a standing accumulator + query: the inner step of
+           the stratified CEGIS search. *)
+        Oracle.Acc.add zen_acc acc_delta 1;
+        ignore (Oracle.Acc.inverse_bounded ~r_max:5 zen_acc);
+        Oracle.Acc.remove zen_acc acc_delta 1);
     (* Machine and harness costs per measurement. *)
-    test "machine/measure-cycles" (fun () ->
+    ("machine/measure-cycles", fun () ->
         ignore (Machine.measure_cycles zen_machine ~rep:0 zen_block));
-    test "harness/median-of-11" (fun () ->
+    ("harness/median-of-11", fun () ->
         ignore (Harness.cycles (Harness.create zen_machine) zen_block));
     (* SAT solver on a classic instance. *)
-    test "sat/pigeonhole-7-6" (fun () ->
+    ("sat/pigeonhole-7-6", fun () ->
         let open Pmi_smt in
         let s = Sat.create () in
         let v = Array.init 7 (fun _ -> Array.init 6 (fun _ -> Sat.fresh_var s)) in
@@ -148,24 +190,45 @@ let characterize_fixture =
 let ablation_tests =
   [ (* The paper's headline trade: Algorithm 1 with per-port counters vs
        the counter-free throughput-difference replacement. *)
-    test "ablation/characterize-counter-free" (fun () ->
+    ("ablation/characterize-counter-free", fun () ->
         let counter_free, _, target = characterize_fixture in
         match Port_usage.characterize zen_harness ~blockers:counter_free target with
         | Port_usage.Usage _ -> ()
         | Port_usage.Failed _ -> failwith "bench: characterisation failed");
-    test "ablation/characterize-uops-info" (fun () ->
+    ("ablation/characterize-uops-info", fun () ->
         let _, with_counters, target = characterize_fixture in
         ignore (Uops_info.characterize zen_machine ~blockers:with_counters target));
+    (* Incremental SAT: one persistent encoding with activation literals vs
+       a fresh encoding per CEGIS iteration. *)
+    ("ablation/cegis-incremental-sat", fun () ->
+        cegis_toy ~symmetry_breaking:true ~max_size:4 ());
+    ("ablation/cegis-fresh-sat", fun () ->
+        cegis_toy ~incremental_sat:false ~symmetry_breaking:true ~max_size:4 ());
+    (* Memoized oracle vs naive per-query throughput in the same search. *)
+    ("ablation/cegis-memoized-oracle", fun () ->
+        cegis_toy ~symmetry_breaking:true ~max_size:4 ());
+    ("ablation/cegis-naive-oracle", fun () ->
+        cegis_toy ~memoized_oracle:false ~symmetry_breaking:true ~max_size:4 ());
     (* Symmetry breaking: CEGIS convergence cost with and without. *)
-    test "ablation/cegis-with-symmetry" (cegis_toy ~symmetry_breaking:true ~max_size:4);
-    test "ablation/cegis-no-symmetry" (cegis_toy ~symmetry_breaking:false ~max_size:4);
+    ("ablation/cegis-with-symmetry", fun () ->
+        cegis_toy ~symmetry_breaking:true ~max_size:4 ());
+    ("ablation/cegis-no-symmetry", fun () ->
+        cegis_toy ~symmetry_breaking:false ~max_size:4 ());
     (* Stratification bound of the distinguishing-experiment search. *)
-    test "ablation/cegis-bound-3" (cegis_toy ~symmetry_breaking:true ~max_size:3);
-    test "ablation/cegis-bound-6" (cegis_toy ~symmetry_breaking:true ~max_size:6) ]
+    ("ablation/cegis-bound-3", fun () ->
+        cegis_toy ~symmetry_breaking:true ~max_size:3 ());
+    ("ablation/cegis-bound-6", fun () ->
+        cegis_toy ~symmetry_breaking:true ~max_size:6 ()) ]
+
+let parallel_tests =
+  [ (* The validation/prediction sweep, sequential vs the domain pool. *)
+    ("parallel/predict-seq", fun () -> predict_sweep 1);
+    ("parallel/predict-domains", fun () ->
+        predict_sweep (Pool.default_domains ())) ]
 
 let table_figure_tests =
   [ (* Table 1: stage-1 classification + candidate filtering. *)
-    test "table1/blocking-classes" (fun () ->
+    ("table1/blocking-classes", fun () ->
         let harness = reduced_harness () in
         let catalog = Machine.catalog (Harness.machine harness) in
         let candidates =
@@ -179,16 +242,16 @@ let table_figure_tests =
         let result = Blocking.filter_candidates harness candidates in
         assert (List.length result.Blocking.classes = 13));
     (* Table 2 + funnel: the whole pipeline on the reduced catalog. *)
-    test "table2+funnel/pipeline" (fun () ->
+    ("table2+funnel/pipeline", fun () ->
         let harness = reduced_harness () in
         let result = Pipeline.run harness in
         assert (result.Pipeline.funnel.Pipeline.blocking_classes = 13));
     (* Figure 5: per-model prediction cost over 50 blocks. *)
-    test "figure5/ours-predictions" (fun () ->
+    ("figure5/ours-predictions", fun () ->
         List.iter
-          (fun e -> ignore (Throughput.inverse_bounded ~r_max:5 ground_truth e))
+          (fun e -> ignore (Oracle.inverse_bounded ~r_max:5 zen_oracle e))
           eval_blocks);
-    test "figure5/pmevo-inference" (fun () ->
+    ("figure5/pmevo-inference", fun () ->
         let config =
           { Pmi_baselines.Pmevo.default_config with
             Pmi_baselines.Pmevo.population = 12; generations = 5 }
@@ -198,15 +261,21 @@ let table_figure_tests =
             eval_schemes
         in
         ignore (Pmi_baselines.Pmevo.infer ~config training eval_schemes));
-    test "figure5/palmed-inference" (fun () ->
+    ("figure5/palmed-inference", fun () ->
         let config =
           { Pmi_baselines.Palmed.default_config with
             Pmi_baselines.Palmed.throughput_classes = 16 }
         in
         ignore (Pmi_baselines.Palmed.infer ~config zen_harness eval_schemes)) ]
 
+let sections =
+  [ ("micro-benchmarks", micro_tests);
+    ("ablations (DESIGN.md)", ablation_tests);
+    ("parallel sweeps", parallel_tests);
+    ("table/figure regeneration", table_figure_tests) ]
+
 (* ------------------------------------------------------------------ *)
-(* Driver                                                              *)
+(* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let benchmark tests =
@@ -217,28 +286,70 @@ let benchmark tests =
   let cfg =
     Benchmark.cfg ~limit:40 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
   in
-  List.iter
-    (fun t ->
-       let results = Benchmark.all cfg instances t in
-       List.iter
+  List.concat_map
+    (fun (name, fn) ->
+       let t = Test.make ~name (Staged.stage fn) in
+       let raw = Benchmark.all cfg instances t in
+       List.concat_map
          (fun instance ->
-            let results = Analyze.all ols instance results in
-            Hashtbl.iter
-              (fun name ols_result ->
+            let results = Analyze.all ols instance raw in
+            Hashtbl.fold
+              (fun name ols_result acc ->
                  match Analyze.OLS.estimates ols_result with
                  | Some [ per_run ] ->
-                   Format.printf "%-32s %12.1f ns/run@." name per_run
+                   Format.printf "%-36s %12.1f ns/run@." name per_run;
+                   (name, per_run) :: acc
                  | Some _ | None ->
-                   Format.printf "%-32s (no estimate)@." name)
-              results)
+                   Format.printf "%-36s (no estimate)@." name;
+                   acc)
+              results [])
          instances)
     tests
 
+let smoke tests =
+  List.map
+    (fun (name, fn) ->
+       let t0 = Sys.time () in
+       fn ();
+       let ns = (Sys.time () -. t0) *. 1e9 in
+       Format.printf "smoke %-36s ok@." name;
+       (name, ns))
+    tests
+
+let emit_json path results =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, ns) ->
+       Printf.fprintf oc "  { \"name\": %S, \"ns_per_run\": %.1f }%s\n" name ns
+         (if i < n - 1 then "," else ""))
+    results;
+  output_string oc "]\n";
+  close_out oc
+
 let () =
-  Format.printf "== micro-benchmarks ==@.";
-  benchmark micro_tests;
-  Format.printf "@.== ablations (DESIGN.md) ==@.";
-  benchmark ablation_tests;
-  Format.printf "@.== table/figure regeneration ==@.";
-  benchmark table_figure_tests;
-  Format.printf "@.done.@."
+  let smoke_mode = ref false in
+  let json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest -> smoke_mode := true; parse rest
+    | "--json" :: file :: rest -> json := Some file; parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: %s [--smoke] [--json FILE]\nunknown argument %s\n"
+        Sys.argv.(0) arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let driver = if !smoke_mode then smoke else benchmark in
+  let results =
+    List.concat_map
+      (fun (title, tests) ->
+         Format.printf "== %s ==@." title;
+         let rs = driver tests in
+         Format.printf "@.";
+         rs)
+      sections
+  in
+  (match !json with None -> () | Some path -> emit_json path results);
+  Format.printf "done.@."

@@ -1,1 +1,1 @@
-lib/core/cegis.ml: Array Encoding List Logs Pmi_isa Pmi_measure Pmi_numeric Pmi_portmap Pmi_smt
+lib/core/cegis.ml: Array Atomic Encoding List Logs Pmi_isa Pmi_measure Pmi_numeric Pmi_parallel Pmi_portmap Pmi_smt Vec

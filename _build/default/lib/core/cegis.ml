@@ -3,6 +3,8 @@ module Scheme = Pmi_isa.Scheme
 module Experiment = Pmi_portmap.Experiment
 module Mapping = Pmi_portmap.Mapping
 module Throughput = Pmi_portmap.Throughput
+module Oracle = Pmi_portmap.Oracle
+module Pool = Pmi_parallel.Pool
 module Solver = Pmi_smt.Solver
 
 let log = Logs.Src.create "pmi.cegis" ~doc:"counter-example-guided inference"
@@ -17,6 +19,9 @@ type config = {
   max_other_candidates : int;
   max_iterations : int;
   symmetry_breaking : bool;
+  incremental_sat : bool;
+  memoized_oracle : bool;
+  domains : int;
 }
 
 let default_config =
@@ -26,7 +31,10 @@ let default_config =
     max_experiment_size = 5;
     max_other_candidates = 400;
     max_iterations = 400;
-    symmetry_breaking = true }
+    symmetry_breaking = true;
+    incremental_sat = true;
+    memoized_oracle = true;
+    domains = 1 }
 
 type observation = {
   experiment : Experiment.t;
@@ -48,6 +56,16 @@ type outcome =
 let modeled_inverse config mapping experiment =
   Throughput.inverse_bounded ~r_max:config.r_max mapping experiment
 
+(* The memoized oracle is a drop-in replacement for the naive throughput
+   computation (same exact rationals); it only declines when the port count
+   exceeds its dense-table bound, in which case we keep the naive path. *)
+let inverse_fn config mapping =
+  if config.memoized_oracle then
+    match Oracle.create mapping with
+    | oracle -> fun e -> Oracle.inverse_bounded ~r_max:config.r_max oracle e
+    | exception Invalid_argument _ -> modeled_inverse config mapping
+  else modeled_inverse config mapping
+
 let consistent config mapping obs =
   let modeled = modeled_inverse config mapping obs.experiment in
   Pmi_measure.Harness.Compare.cpi_equal ~epsilon:config.epsilon
@@ -59,20 +77,23 @@ let consistent config mapping obs =
    seeded with everything already learned. *)
 let theory_check config encoding observations pool model =
   let mapping = Encoding.decode encoding model in
-  let lemmas =
-    List.filter_map
-      (fun obs ->
-         if consistent config mapping obs then None
-         else begin
-           let lemma =
-             Encoding.block_footprint encoding model
-               (Experiment.schemes obs.experiment)
-           in
-           Some lemma
-         end)
-      observations
-  in
-  pool := !pool @ lemmas;
+  let inv = inverse_fn config mapping in
+  let lemmas = ref [] in
+  Vec.iter
+    (fun obs ->
+       let explained =
+         Pmi_measure.Harness.Compare.cpi_equal ~epsilon:config.epsilon
+           ~length:(Experiment.length obs.experiment) (inv obs.experiment)
+           obs.cycles
+       in
+       if not explained then
+         lemmas :=
+           Encoding.block_footprint encoding model
+             (Experiment.schemes obs.experiment)
+           :: !lemmas)
+    observations;
+  let lemmas = List.rev !lemmas in
+  List.iter (Vec.push pool) lemmas;
   lemmas
 
 let fresh_encoding config specs pool =
@@ -80,7 +101,7 @@ let fresh_encoding config specs pool =
     Encoding.create ~num_ports:config.num_ports
       ~symmetry_breaking:config.symmetry_breaking specs
   in
-  List.iter (Pmi_smt.Sat.add_clause (Encoding.sat encoding)) !pool;
+  Vec.iter (Pmi_smt.Sat.add_clause (Encoding.sat encoding)) pool;
   encoding
 
 let find_mapping config encoding observations pool =
@@ -119,16 +140,116 @@ let iter_experiments schemes ~max_size f =
 
 exception Found of Experiment.t
 
-let distinguishing_experiment config m1 m2 schemes =
+exception Found_counts of (Scheme.t * int) list
+
+(* One size stratum of the distinguishing-experiment search, walked with
+   incremental oracle accumulators: entering/leaving a recursion level is a
+   ±one-scheme mass delta, and each leaf is an O(2^P) scan per mapping
+   instead of a from-scratch throughput computation.  Enumeration order is
+   identical to [iter_experiments], so the first hit is deterministic.
+   [abort] is polled at every node (used by the parallel search to stop a
+   stratum once a smaller one has found a hit). *)
+let search_stratum config o1 o2 schemes ~size ~abort =
   let sep = Pmi_measure.Harness.Compare.well_separated ~epsilon:config.epsilon in
-  match
-    iter_experiments schemes ~max_size:config.max_experiment_size (fun e ->
-        let t1 = modeled_inverse config m1 e in
-        let t2 = modeled_inverse config m2 e in
-        if sep ~length:(Experiment.length e) t1 t2 then raise (Found e))
-  with
+  let a1 = Oracle.Acc.create o1 and a2 = Oracle.Acc.create o2 in
+  let n = Array.length schemes in
+  let rec fill size start acc =
+    if abort () then raise_notrace Exit;
+    if size = 0 then begin
+      let length = Oracle.Acc.length a1 in
+      let t1 = Oracle.Acc.inverse_bounded ~r_max:config.r_max a1 in
+      let t2 = Oracle.Acc.inverse_bounded ~r_max:config.r_max a2 in
+      if sep ~length t1 t2 then raise_notrace (Found_counts acc)
+    end
+    else
+      for i = start to n - 1 do
+        let s = schemes.(i) in
+        let rec with_count c =
+          if c <= size then begin
+            Oracle.Acc.add a1 s 1;
+            Oracle.Acc.add a2 s 1;
+            fill (size - c) (i + 1) ((s, c) :: acc);
+            with_count (c + 1)
+          end
+          else begin
+            (* All [c - 1] copies of scheme i are standing; retract them. *)
+            Oracle.Acc.remove a1 s (c - 1);
+            Oracle.Acc.remove a2 s (c - 1)
+          end
+        in
+        with_count 1
+      done
+  in
+  match fill size 0 [] with
   | () -> None
-  | exception Found e -> Some e
+  | exception Found_counts acc -> Some (Experiment.of_counts acc)
+  | exception Exit -> None
+
+let distinguishing_memoized config o1 o2 schemes =
+  let arr = Array.of_list schemes in
+  Oracle.prepare o1 schemes;
+  Oracle.prepare o2 schemes;
+  if config.domains > 1 && config.max_experiment_size > 1 then begin
+    (* One domain per size stratum; every stratum reports its first hit in
+       enumeration order and the smallest stratum wins, so the result is
+       the same experiment the sequential search returns. *)
+    let strata = config.max_experiment_size in
+    let hits = Array.make (strata + 1) None in
+    let best = Atomic.make max_int in
+    let rec shrink size =
+      let b = Atomic.get best in
+      if size < b && not (Atomic.compare_and_set best b size) then shrink size
+    in
+    Pool.parallel_for ~domains:config.domains ~n:strata (fun idx ->
+        let size = idx + 1 in
+        let abort () = Atomic.get best < size in
+        if not (abort ()) then
+          match search_stratum config o1 o2 arr ~size ~abort with
+          | Some e ->
+            hits.(size) <- Some e;
+            shrink size
+          | None -> ());
+    let rec first size =
+      if size > strata then None
+      else match hits.(size) with Some e -> Some e | None -> first (size + 1)
+    in
+    first 1
+  end
+  else begin
+    let rec go size =
+      if size > config.max_experiment_size then None
+      else
+        match
+          search_stratum config o1 o2 arr ~size ~abort:(fun () -> false)
+        with
+        | Some e -> Some e
+        | None -> go (size + 1)
+    in
+    go 1
+  end
+
+let distinguishing_experiment config m1 m2 schemes =
+  let oracles =
+    if config.memoized_oracle then
+      match (Oracle.create m1, Oracle.create m2) with
+      | o1, o2 -> Some (o1, o2)
+      | exception Invalid_argument _ -> None
+    else None
+  in
+  match oracles with
+  | Some (o1, o2) -> distinguishing_memoized config o1 o2 schemes
+  | None ->
+    let sep =
+      Pmi_measure.Harness.Compare.well_separated ~epsilon:config.epsilon
+    in
+    (match
+       iter_experiments schemes ~max_size:config.max_experiment_size (fun e ->
+           let t1 = modeled_inverse config m1 e in
+           let t2 = modeled_inverse config m2 e in
+           if sep ~length:(Experiment.length e) t1 t2 then raise (Found e))
+     with
+     | () -> None
+     | exception Found e -> Some e)
 
 let same_mapping specs m1 m2 =
   List.for_all
@@ -138,7 +259,73 @@ let same_mapping specs m1 m2 =
        | (None | Some _), _ -> false)
     specs
 
-let find_other_mapping config specs observations pool m1 tried_counter =
+(* State of the persistent findOtherMapping solver: one encoding per specs
+   set, kept across CEGIS iterations so learned clauses, variable
+   activities and theory lemmas survive.  [synced] counts the pool lemmas
+   already present in the solver (both encodings number their variables
+   deterministically, so lemmas learned on one transfer verbatim). *)
+type other_state = {
+  o_encoding : Encoding.t;
+  mutable o_synced : int;
+}
+
+let sync_lemmas state pool =
+  let sat = Encoding.sat state.o_encoding in
+  Vec.iter_from state.o_synced (Pmi_smt.Sat.add_clause sat) pool;
+  state.o_synced <- Vec.length pool
+
+(* Incremental findOtherMapping: block_model clauses are only valid for the
+   duration of one call (a candidate that cannot be distinguished under the
+   current experiment bound must be reconsidered once new observations
+   arrive), so each call guards them behind a fresh activation literal that
+   is assumed during the call and retired with a unit clause afterwards. *)
+let find_other_mapping_incremental config state specs observations pool m1
+    tried_counter =
+  sync_lemmas state pool;
+  let encoding = state.o_encoding in
+  let sat = Encoding.sat encoding in
+  let act = Pmi_smt.Sat.fresh_var sat in
+  let assumptions = [ Pmi_smt.Lit.pos act ] in
+  let retract = Pmi_smt.Lit.neg_of_var act in
+  let check = theory_check config encoding observations pool in
+  let schemes = List.map fst specs in
+  let rec search budget =
+    if budget = 0 then begin
+      Log.warn (fun m ->
+          m "findOtherMapping: candidate budget exhausted; treating as converged");
+      None
+    end
+    else begin
+      match Solver.solve ~assumptions ~check sat with
+      | Solver.Unsat -> None
+      | Solver.Sat model ->
+        incr tried_counter;
+        let m2 = Encoding.decode encoding model in
+        if same_mapping specs m1 m2 then begin
+          Pmi_smt.Sat.add_clause sat
+            (retract :: Encoding.block_model encoding model);
+          search (budget - 1)
+        end
+        else begin
+          match distinguishing_experiment config m1 m2 schemes with
+          | Some e -> Some (m2, e)
+          | None ->
+            (* Indistinguishable within the experiment bound: block this
+               candidate for the remainder of the call (§3.3.4). *)
+            Pmi_smt.Sat.add_clause sat
+              (retract :: Encoding.block_model encoding model);
+            search (budget - 1)
+        end
+    end
+  in
+  let result = search config.max_other_candidates in
+  (* Retire this call's blocking clauses; lemmas the solver added for us
+     during [check] are already in, so fast-forward the sync mark. *)
+  Pmi_smt.Sat.add_clause sat [ retract ];
+  state.o_synced <- Vec.length pool;
+  result
+
+let find_other_mapping_fresh config specs observations pool m1 tried_counter =
   let encoding = fresh_encoding config specs pool in
   let sat = Encoding.sat encoding in
   let check = theory_check config encoding observations pool in
@@ -163,8 +350,6 @@ let find_other_mapping config specs observations pool m1 tried_counter =
           match distinguishing_experiment config m1 m2 schemes with
           | Some e -> Some (m2, e)
           | None ->
-            (* Indistinguishable within the experiment bound: block this
-               candidate for the remainder of the call (§3.3.4). *)
             Pmi_smt.Sat.add_clause sat (Encoding.block_model encoding model);
             search (budget - 1)
         end
@@ -199,56 +384,93 @@ let validation_experiments specs =
   |> List.sort_uniq Experiment.compare
 
 let explain ?(config = default_config) ~specs ~observations () =
-  let pool = ref [] in
+  let pool = Vec.create () in
+  let obs = Vec.create () in
+  List.iter (Vec.push obs) observations;
   let encoding = fresh_encoding config specs pool in
-  find_mapping config encoding observations pool
+  find_mapping config encoding obs pool
 
 let infer ?(config = default_config) ~measure ~specs () =
-  let pool = ref [] in
-  let observations = ref [] in
+  let pool = Vec.create () in
+  let observations = Vec.create () in
   let observe experiment =
     let cycles = measure experiment in
     let obs = { experiment; cycles } in
-    observations := !observations @ [ obs ];
+    Vec.push observations obs;
     obs
   in
   List.iter (fun (s, _) -> ignore (observe (Experiment.singleton s))) specs;
   let fm_encoding = fresh_encoding config specs pool in
+  let other_state =
+    if config.incremental_sat then
+      Some
+        { o_encoding =
+            Encoding.create ~num_ports:config.num_ports
+              ~symmetry_breaking:config.symmetry_breaking specs;
+          o_synced = 0 }
+    else None
+  in
+  let find_other m1 tried =
+    match other_state with
+    | Some state ->
+      find_other_mapping_incremental config state specs observations pool m1
+        tried
+    | None ->
+      find_other_mapping_fresh config specs observations pool m1 tried
+  in
   let tried = ref 0 in
   let finish mk =
     mk
       { iterations = 0;
-        observations = !observations;
+        observations = Vec.to_list observations;
         candidates_tried = !tried;
-        theory_lemmas = List.length !pool }
+        theory_lemmas = Vec.length pool }
   in
-  let sweep = validation_experiments specs in
+  let sweep = Array.of_list (validation_experiments specs) in
   let validate m1 =
     (* The first sweep experiment the converged mapping fails to explain;
        [None] means the convergence is confirmed.  Only one refutation is
        reported per round so that an UNSAT can be traced to a single
        observation (the §4.3 culprit search depends on that). *)
-    List.find_opt
-      (fun e ->
-         if List.exists (fun o -> Experiment.equal o.experiment e) !observations
-         then false
-         else begin
-           let cycles = measure e in
-           not
-             (Pmi_measure.Harness.Compare.cpi_equal ~epsilon:config.epsilon
-                ~length:(Experiment.length e) (modeled_inverse config m1 e)
-                cycles)
-         end)
-      sweep
+    let inv, oracle =
+      if config.memoized_oracle then
+        match Oracle.create m1 with
+        | o ->
+          ((fun e -> Oracle.inverse_bounded ~r_max:config.r_max o e), Some o)
+        | exception Invalid_argument _ -> (modeled_inverse config m1, None)
+      else (modeled_inverse config m1, None)
+    in
+    let failing e =
+      if
+        Vec.exists (fun o -> Experiment.equal o.experiment e) observations
+      then false
+      else begin
+        let cycles = measure e in
+        not
+          (Pmi_measure.Harness.Compare.cpi_equal ~epsilon:config.epsilon
+             ~length:(Experiment.length e) (inv e) cycles)
+      end
+    in
+    if config.domains > 1 then begin
+      (* Warm the oracle tables before fanning out: the sweep only reads
+         shared state afterwards.  [measure] must be thread-safe here. *)
+      (match oracle with
+       | Some o -> Oracle.prepare o (List.map fst specs)
+       | None -> ());
+      match Pool.find_first_index ~domains:config.domains failing sweep with
+      | Some i -> Some sweep.(i)
+      | None -> None
+    end
+    else Array.find_opt failing sweep
   in
   let rec loop iteration =
     if iteration > config.max_iterations then
       finish (fun s -> Iteration_limit { s with iterations = iteration - 1 })
     else begin
-      match find_mapping config fm_encoding !observations pool with
+      match find_mapping config fm_encoding observations pool with
       | None -> finish (fun s -> No_consistent_mapping { s with iterations = iteration })
       | Some m1 ->
-        (match find_other_mapping config specs !observations pool m1 tried with
+        (match find_other m1 tried with
          | None ->
            (match validate m1 with
             | None -> finish (fun s -> Converged (m1, { s with iterations = iteration }))

@@ -25,6 +25,25 @@ type config = {
                                    convergence *)
   max_iterations : int;        (** Algorithm-2 iteration budget *)
   symmetry_breaking : bool;
+  incremental_sat : bool;      (** keep one persistent [findOtherMapping]
+                                   solver per specs set instead of rebuilding
+                                   the encoding every iteration; per-call
+                                   [block_model] clauses are guarded behind
+                                   activation literals and retired when the
+                                   call returns, while learned clauses and
+                                   theory lemmas persist (default [true]) *)
+  memoized_oracle : bool;      (** evaluate the throughput oracle against
+                                   memoized dense subset-sum tables
+                                   ({!Pmi_portmap.Oracle}) rather than
+                                   recomputing per query; exact same
+                                   rationals (default [true]) *)
+  domains : int;               (** > 1 fans the stratified
+                                   distinguishing-experiment search and the
+                                   convergence validation sweep out over
+                                   that many OCaml domains.  The validation
+                                   sweep calls [measure] concurrently, so
+                                   only raise this with a thread-safe
+                                   measure function (default [1]) *)
 }
 
 val default_config : config

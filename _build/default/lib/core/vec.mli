@@ -1,0 +1,23 @@
+(** A minimal growable vector (amortised O(1) push).
+
+    Replaces the quadratic [xs := !xs @ [x]] accumulation patterns on the
+    CEGIS hot path; elements keep insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iter_from : int -> ('a -> unit) -> 'a t -> unit
+(** [iter_from i f v] applies [f] to elements [i .. length v - 1], in
+    order; used to sync newly learned lemmas into a persistent solver. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list

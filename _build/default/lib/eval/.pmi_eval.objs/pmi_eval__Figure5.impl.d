@@ -1,1 +1,1 @@
-lib/eval/figure5.ml: Array Blocks Float Format Heatmap List Metrics Pmi_baselines Pmi_isa Pmi_machine Pmi_measure Pmi_numeric Pmi_portmap
+lib/eval/figure5.ml: Array Blocks Float Format Heatmap List Metrics Pmi_baselines Pmi_isa Pmi_machine Pmi_measure Pmi_numeric Pmi_parallel Pmi_portmap

@@ -41,11 +41,15 @@ type t = {
 
 val run :
   ?options:options ->
+  ?domains:int ->
   Pmi_measure.Harness.t ->
   mapping:Pmi_portmap.Mapping.t ->
   t
 (** Evaluate against the harness's machine; [mapping] is the pipeline's
-    final inferred mapping. *)
+    final inferred mapping.  Model predictions go through the memoised
+    {!Pmi_portmap.Oracle}; with [domains > 1] (default 1) the pure
+    prediction sweeps fan out over that many domains — measurement stays
+    sequential because the harness cache is not thread-safe. *)
 
 val pp : Format.formatter -> t -> unit
 (** The Figure 5(a) table plus the three heatmaps. *)

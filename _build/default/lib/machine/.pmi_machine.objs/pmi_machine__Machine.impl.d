@@ -1,1 +1,1 @@
-lib/machine/machine.ml: Array Buffer Catalog Ground_truth Hashtbl Iclass List Noise Pmi_isa Pmi_numeric Pmi_portmap Profile Scheme
+lib/machine/machine.ml: Array Catalog Ground_truth Hashtbl Iclass List Noise Pmi_isa Pmi_numeric Pmi_portmap Profile Scheme

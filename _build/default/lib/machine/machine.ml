@@ -28,7 +28,7 @@ type t = {
   config : config;
   profile : Profile.t;
   ground_truth : Mapping.t;
-  cache : (string, Rat.t) Hashtbl.t;
+  cache : Rat.t Experiment.Tbl.t;
   mutable measurements : int;
 }
 
@@ -38,7 +38,7 @@ let create ?(config = default_config) ?(profile = Profile.zen_plus) catalog =
     config;
     profile;
     ground_truth = Ground_truth.mapping_for profile catalog;
-    cache = Hashtbl.create 4096;
+    cache = Experiment.Tbl.create 4096;
     measurements = 0 }
 
 let catalog t = t.catalog
@@ -193,20 +193,9 @@ let ms_stall profile experiment =
   in
   Rat.of_int stall
 
-let cache_key experiment =
-  let buf = Buffer.create 64 in
-  Experiment.fold
-    (fun s n () ->
-       Buffer.add_string buf (string_of_int (Scheme.id s));
-       Buffer.add_char buf ':';
-       Buffer.add_string buf (string_of_int n);
-       Buffer.add_char buf ';')
-    experiment ();
-  Buffer.contents buf
-
 let true_inverse t experiment =
-  let key = cache_key experiment in
-  match Hashtbl.find_opt t.cache key with
+  let key = Experiment.key experiment in
+  match Experiment.Tbl.find_opt t.cache key with
   | Some v -> v
   | None ->
     let ports = port_inverse_scaled (scaled_masses t.profile experiment) in
@@ -214,7 +203,7 @@ let true_inverse t experiment =
       Rat.of_ints (Experiment.length experiment) t.profile.Profile.r_max
     in
     let v = Rat.add (Rat.max ports frontend) (ms_stall t.profile experiment) in
-    Hashtbl.replace t.cache key v;
+    Experiment.Tbl.replace t.cache key v;
     v
 
 (* Noise tier of an experiment: inherently unreliable schemes dominate,

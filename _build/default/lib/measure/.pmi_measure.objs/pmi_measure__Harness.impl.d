@@ -1,1 +1,1 @@
-lib/measure/harness.ml: Buffer Float Hashtbl List Pmi_isa Pmi_machine Pmi_numeric Pmi_portmap
+lib/measure/harness.ml: Float List Pmi_machine Pmi_numeric Pmi_portmap

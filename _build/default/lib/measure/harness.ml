@@ -12,35 +12,34 @@ type t = {
   machine : Machine.t;
   reps : int;
   precision : int;
-  cache : (string, sample) Hashtbl.t;
+  cache : sample Experiment.Tbl.t;
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let create ?(reps = 11) ?(precision = 1000) machine =
   if reps <= 0 || precision <= 0 then invalid_arg "Harness.create";
-  { machine; reps; precision; cache = Hashtbl.create 4096 }
+  { machine;
+    reps;
+    precision;
+    cache = Experiment.Tbl.create 4096;
+    hits = 0;
+    misses = 0 }
 
 let machine t = t.machine
-
-let key experiment =
-  let buf = Buffer.create 64 in
-  Experiment.fold
-    (fun s n () ->
-       Buffer.add_string buf (string_of_int (Pmi_isa.Scheme.id s));
-       Buffer.add_char buf ':';
-       Buffer.add_string buf (string_of_int n);
-       Buffer.add_char buf ';')
-    experiment ();
-  Buffer.contents buf
 
 let quantise t value =
   let p = float_of_int t.precision in
   Rat.of_ints (int_of_float (Float.round (value *. p))) t.precision
 
 let run t experiment =
-  let k = key experiment in
-  match Hashtbl.find_opt t.cache k with
-  | Some sample -> sample
+  let k = Experiment.key experiment in
+  match Experiment.Tbl.find_opt t.cache k with
+  | Some sample ->
+    t.hits <- t.hits + 1;
+    sample
   | None ->
+    t.misses <- t.misses + 1;
     let runs =
       List.init t.reps (fun rep -> Machine.measure_cycles t.machine ~rep experiment)
     in
@@ -57,7 +56,7 @@ let run t experiment =
         spread_cpi;
         retired_ops = Machine.retired_ops t.machine experiment }
     in
-    Hashtbl.replace t.cache k sample;
+    Experiment.Tbl.replace t.cache k sample;
     sample
 
 let cycles t experiment = (run t experiment).cycles
@@ -68,7 +67,9 @@ let cpi t experiment =
   Rat.div (cycles t experiment) (Rat.of_int len)
 
 let retired_ops t experiment = (run t experiment).retired_ops
-let benchmarks_run t = Hashtbl.length t.cache
+let benchmarks_run t = Experiment.Tbl.length t.cache
+let cache_hits t = t.hits
+let cache_misses t = t.misses
 
 module Compare = struct
   let default_epsilon = Rat.of_ints 2 100

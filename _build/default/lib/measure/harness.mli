@@ -31,6 +31,12 @@ val retired_ops : t -> Pmi_portmap.Experiment.t -> int
 val benchmarks_run : t -> int
 (** Distinct experiments measured so far. *)
 
+val cache_hits : t -> int
+(** Queries answered from the experiment cache. *)
+
+val cache_misses : t -> int
+(** Queries that had to run the benchmark ([= benchmarks_run]). *)
+
 (** ε-tolerant throughput comparisons (§3.3.4, §4). *)
 module Compare : sig
   val default_epsilon : Pmi_numeric.Rat.t

@@ -1,0 +1,84 @@
+(* Chunked work pool over OCaml 5 domains.
+
+   Work items are claimed in contiguous chunks off a single atomic cursor:
+   cheap enough for fine-grained items, and preserving enough locality that
+   per-item results land in disjoint cache lines most of the time.  The
+   calling domain participates as a worker, so [domains = 1] runs entirely
+   in the caller with no spawns. *)
+
+let env_domains = "PMI_DOMAINS"
+
+let default_domains () =
+  match Sys.getenv_opt env_domains with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with Failure _ -> 1)
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let chunk_for ~items ~domains =
+  (* Aim for ~8 chunks per worker so stragglers rebalance, chunk >= 1. *)
+  max 1 (items / (8 * domains))
+
+let run_workers ~domains body =
+  if domains <= 1 then body ()
+  else begin
+    let error = Atomic.make None in
+    let guarded () =
+      try body () with
+      | e -> ignore (Atomic.compare_and_set error None (Some e))
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn guarded) in
+    guarded ();
+    Array.iter Domain.join spawned;
+    match Atomic.get error with
+    | Some e -> raise e
+    | None -> ()
+  end
+
+let parallel_for ?domains ~n f =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let domains = min domains (max 1 n) in
+  if n <= 0 then ()
+  else if domains = 1 then
+    for i = 0 to n - 1 do f i done
+  else begin
+    let chunk = chunk_for ~items:n ~domains in
+    let next = Atomic.make 0 in
+    run_workers ~domains (fun () ->
+        let rec loop () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < n then begin
+            let stop = min n (start + chunk) in
+            for i = start to stop - 1 do f i done;
+            loop ()
+          end
+        in
+        loop ())
+  end
+
+let map_array ?domains f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_for ?domains ~n (fun i -> results.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?domains f xs =
+  Array.to_list (map_array ?domains f (Array.of_list xs))
+
+let find_first_index ?domains p arr =
+  let n = Array.length arr in
+  if n = 0 then None
+  else begin
+    let best = Atomic.make max_int in
+    let rec lower i =
+      let b = Atomic.get best in
+      if i < b && not (Atomic.compare_and_set best b i) then lower i
+    in
+    parallel_for ?domains ~n (fun i ->
+        (* Indices at or past the best hit so far cannot improve it. *)
+        if i < Atomic.get best && p arr.(i) then lower i);
+    match Atomic.get best with
+    | i when i = max_int -> None
+    | i -> Some i
+  end

@@ -1,0 +1,32 @@
+(** A small chunked work pool over OCaml 5 domains.
+
+    No dependencies beyond the stdlib.  Work is claimed in contiguous index
+    chunks off one atomic cursor; the calling domain participates as a
+    worker, so requesting one domain runs sequentially with zero spawns.
+
+    The work function is the caller's responsibility to make thread-safe:
+    it must only read shared state (or write to disjoint slots, as the
+    combinators here do).  In this codebase that means preparing
+    {!Pmi_portmap.Oracle} tables before fanning out, and never routing a
+    {!Pmi_measure.Harness} (whose cache is a plain hashtable) through a
+    pool with more than one domain. *)
+
+val default_domains : unit -> int
+(** [PMI_DOMAINS] if set (clamped to ≥ 1), otherwise
+    [Domain.recommended_domain_count] capped at 8. *)
+
+val parallel_for : ?domains:int -> n:int -> (int -> unit) -> unit
+(** Run [f i] for [0 <= i < n] across the pool.  [domains] defaults to
+    {!default_domains}; it is clamped to [n].  If a work item raises, the
+    workers are still joined and the first exception observed is re-raised
+    in the caller (other items may have run). *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val find_first_index : ?domains:int -> ('a -> bool) -> 'a array -> int option
+(** The {e minimal} index satisfying the predicate (deterministic even
+    though evaluation order is not).  Indices at or beyond the best hit so
+    far are skipped, so the predicate is not evaluated on every element. *)

@@ -1,1 +1,1 @@
-lib/portmap/experiment.mli: Format Pmi_isa
+lib/portmap/experiment.mli: Format Hashtbl Pmi_isa

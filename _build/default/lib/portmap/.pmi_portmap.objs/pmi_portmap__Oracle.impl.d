@@ -1,0 +1,1 @@
+lib/portmap/oracle.ml: Array Experiment Hashtbl List Mapping Pmi_isa Pmi_numeric Portset Throughput

@@ -1,0 +1,1 @@
+lib/portmap/oracle.mli: Experiment Mapping Pmi_isa Pmi_numeric Portset

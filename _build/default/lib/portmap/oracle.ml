@@ -1,0 +1,165 @@
+module Rat = Pmi_numeric.Rat
+module Scheme = Pmi_isa.Scheme
+
+(* Dense throughput oracle over the 2^P bitmask lattice.
+
+   For a fixed mapping, each scheme contributes a *cumulative mass table*
+   [tbl] with [tbl.(q) = Σ_{(ports, n) ∈ usage, ports ⊆ q} n]: the µop mass
+   of one instance of the scheme that is confined to the port set [q].  The
+   table is built once per scheme with a zeta (subset-sum) transform of the
+   scheme's point masses and cached, so evaluating
+
+     tp⁻¹(e) = max over ∅ ≠ q of mass_e(q) / |q|
+
+   for an experiment [e] only needs a pointwise combination of the cached
+   tables followed by a single O(2^P) scan — no hashtable rebuild, no
+   submask enumeration.  [Acc] keeps the combined table standing so the
+   stratified CEGIS search can move between neighbouring experiments with
+   ±one-scheme deltas. *)
+
+let max_ports = 20
+(* 2^20 ints per scheme table; far above any simulated profile (≤ 13). *)
+
+type t = {
+  mapping : Mapping.t;
+  num_ports : int;
+  size : int;                          (* 2^num_ports *)
+  card : int array;                    (* popcount per mask *)
+  tables : (int, int array) Hashtbl.t; (* scheme id -> cumulative masses *)
+}
+
+let create mapping =
+  let num_ports = Mapping.num_ports mapping in
+  if num_ports < 1 || num_ports > max_ports then
+    invalid_arg "Oracle.create: unsupported port count";
+  let size = 1 lsl num_ports in
+  let card = Array.make size 0 in
+  for q = 1 to size - 1 do
+    card.(q) <- card.(q lsr 1) + (q land 1)
+  done;
+  { mapping; num_ports; size; card; tables = Hashtbl.create 64 }
+
+let mapping t = t.mapping
+let num_ports t = t.num_ports
+
+(* Zeta transform in place: tbl.(q) becomes Σ_{s ⊆ q} tbl.(s). *)
+let zeta num_ports tbl =
+  for k = 0 to num_ports - 1 do
+    let bit = 1 lsl k in
+    for q = 0 to Array.length tbl - 1 do
+      if q land bit <> 0 then tbl.(q) <- tbl.(q) + tbl.(q lxor bit)
+    done
+  done
+
+let table t scheme =
+  let id = Scheme.id scheme in
+  match Hashtbl.find_opt t.tables id with
+  | Some tbl -> tbl
+  | None ->
+    let usage =
+      match Mapping.find_opt t.mapping scheme with
+      | Some usage -> usage
+      | None -> raise (Throughput.Unsupported scheme)
+    in
+    let tbl = Array.make t.size 0 in
+    List.iter
+      (fun (ports, n) ->
+         let q = Portset.to_mask ports in
+         tbl.(q) <- tbl.(q) + n)
+      usage;
+    zeta t.num_ports tbl;
+    Hashtbl.replace t.tables id tbl;
+    tbl
+
+let prepare t schemes = List.iter (fun s -> ignore (table t s)) schemes
+
+(* Best non-empty bottleneck of a cumulative mass table, by exact
+   cross-multiplied fraction comparison (masses and cardinalities are far
+   from native-int overflow). *)
+let best_of t cum =
+  let best_q = ref 0 and best_num = ref 0 and best_den = ref 1 in
+  for q = 1 to t.size - 1 do
+    let mass = cum.(q) in
+    if mass * !best_den > !best_num * t.card.(q) then begin
+      best_q := q;
+      best_num := mass;
+      best_den := t.card.(q)
+    end
+  done;
+  (!best_q, !best_num, !best_den)
+
+let accumulate t cum experiment =
+  List.iter
+    (fun (s, count) ->
+       let tbl = table t s in
+       for q = 0 to t.size - 1 do
+         cum.(q) <- cum.(q) + (count * tbl.(q))
+       done)
+    (Experiment.to_counts experiment)
+
+let inverse t experiment =
+  let cum = Array.make t.size 0 in
+  accumulate t cum experiment;
+  let _, num, den = best_of t cum in
+  Rat.of_ints num den
+
+let bottleneck_set t experiment =
+  let cum = Array.make t.size 0 in
+  accumulate t cum experiment;
+  let q, _, _ = best_of t cum in
+  Portset.of_mask q
+
+let bounded ~r_max len num den =
+  if r_max <= 0 then invalid_arg "Oracle.inverse_bounded";
+  (* max (num/den) (len/r_max) without building the loser. *)
+  if num * r_max >= len * den then Rat.of_ints num den
+  else Rat.of_ints len r_max
+
+let inverse_bounded ~r_max t experiment =
+  let cum = Array.make t.size 0 in
+  accumulate t cum experiment;
+  let _, num, den = best_of t cum in
+  bounded ~r_max (Experiment.length experiment) num den
+
+module Acc = struct
+  type oracle = t
+
+  type nonrec t = {
+    oracle : oracle;
+    cum : int array;
+    mutable len : int;
+  }
+
+  let create oracle =
+    { oracle; cum = Array.make oracle.size 0; len = 0 }
+
+  let length acc = acc.len
+
+  let update acc scheme count =
+    let tbl = table acc.oracle scheme in
+    let cum = acc.cum in
+    for q = 0 to acc.oracle.size - 1 do
+      cum.(q) <- cum.(q) + (count * tbl.(q))
+    done;
+    acc.len <- acc.len + count
+
+  let add acc scheme count =
+    if count < 0 then invalid_arg "Oracle.Acc.add";
+    update acc scheme count
+
+  let remove acc scheme count =
+    if count < 0 then invalid_arg "Oracle.Acc.remove";
+    update acc scheme (-count)
+
+  let reset acc =
+    Array.fill acc.cum 0 acc.oracle.size 0;
+    acc.len <- 0
+
+  let inverse acc =
+    let _, num, den = best_of acc.oracle acc.cum in
+    Rat.of_ints num den
+
+  let inverse_bounded ~r_max acc =
+    let _, num, den = best_of acc.oracle acc.cum in
+    bounded ~r_max acc.len num den
+end

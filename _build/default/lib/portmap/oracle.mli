@@ -1,0 +1,70 @@
+(** Memoized subset-sum throughput oracle.
+
+    Computes exactly the same value as {!Throughput.inverse} — the
+    bottleneck-set optimum [max over ∅≠Q⊆P of mass(Q)/|Q|] — but against
+    dense per-scheme mass tables over the 2^P bitmask lattice.  Each
+    scheme's cumulative table ([tbl.(q)] = µop mass of one instance confined
+    to port set [q]) is built once with a zeta/subset-sum transform and
+    cached for the lifetime of the oracle, so a query is a pointwise table
+    combination plus one O(2^P) scan instead of a hashtable rebuild and a
+    submask enumeration per query.
+
+    All results are exact rationals and agree with {!Throughput} up to
+    {!Pmi_numeric.Rat.equal} (property-tested in [test/test_oracle.ml]).
+
+    Thread safety: the per-scheme table cache is filled lazily.  Call
+    {!prepare} with every scheme that will be queried before sharing one
+    oracle across domains; after that, queries through {!Acc} values owned
+    by distinct domains only read shared state. *)
+
+type t
+
+val create : Mapping.t -> t
+(** Build an oracle for the mapping.  The mapping is captured by reference
+    and must not be mutated afterwards.  @raise Invalid_argument for more
+    than 20 ports (the dense tables would not fit). *)
+
+val mapping : t -> Mapping.t
+val num_ports : t -> int
+
+val prepare : t -> Pmi_isa.Scheme.t list -> unit
+(** Eagerly build the cumulative tables of the given schemes.
+    @raise Throughput.Unsupported if the mapping does not map one of them. *)
+
+val inverse : t -> Experiment.t -> Pmi_numeric.Rat.t
+(** [tp⁻¹(e)], exactly as {!Throughput.inverse}.
+    @raise Throughput.Unsupported *)
+
+val inverse_bounded : r_max:int -> t -> Experiment.t -> Pmi_numeric.Rat.t
+(** As {!Throughput.inverse_bounded}: the oracle value capped below by the
+    §3.4 frontend bound [|e| / r_max].  @raise Throughput.Unsupported *)
+
+val bottleneck_set : t -> Experiment.t -> Portset.t
+(** A port set attaining the optimum; empty for an empty experiment. *)
+
+(** Incremental experiment accumulator: the running cumulative mass table
+    of a working experiment, updated by ±one scheme at a time.  This is the
+    inner loop of the stratified distinguishing-experiment search: moving
+    to a neighbouring multiset costs one table update, and each throughput
+    query is a pure O(2^P) scan. *)
+module Acc : sig
+  type oracle := t
+  type t
+
+  val create : oracle -> t
+  (** An empty accumulator (the empty experiment). *)
+
+  val add : t -> Pmi_isa.Scheme.t -> int -> unit
+  (** Add [count] copies of the scheme.  @raise Throughput.Unsupported *)
+
+  val remove : t -> Pmi_isa.Scheme.t -> int -> unit
+  (** Remove [count] copies previously added. *)
+
+  val length : t -> int
+  (** Instruction count of the current experiment. *)
+
+  val reset : t -> unit
+
+  val inverse : t -> Pmi_numeric.Rat.t
+  val inverse_bounded : r_max:int -> t -> Pmi_numeric.Rat.t
+end

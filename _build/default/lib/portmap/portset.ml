@@ -33,6 +33,13 @@ let cardinal s =
   go 0 s
 
 let is_empty s = s = 0
+let to_mask s = s
+
+let of_mask m =
+  if m < 0 || m > (1 lsl (Sys.int_size - 2)) - 1 then
+    invalid_arg "Portset.of_mask";
+  m
+
 let equal (a : int) b = a = b
 let compare (a : int) b = Stdlib.compare a b
 let hash s = s

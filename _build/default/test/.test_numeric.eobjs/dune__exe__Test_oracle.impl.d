@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Atomic Catalog Experiment Fun Iclass List Mapping Operand Oracle Pmi_isa Pmi_numeric Pmi_parallel Pmi_portmap Portset Printf QCheck2 QCheck_alcotest Throughput

@@ -279,6 +279,54 @@ let test_cegis_three_instructions () =
   | Cegis.No_consistent_mapping _ -> Alcotest.fail "unexpected UNSAT"
   | Cegis.Iteration_limit _ -> Alcotest.fail "iteration limit"
 
+let test_cegis_incremental_matches_fresh () =
+  (* The incremental solver path (one persistent encoding, activation
+     literals, memoized oracle) must converge on the 3-port toy exactly as
+     the fresh-encoding-per-iteration path does. *)
+  let s01 = Portset.of_list [ 0; 1 ] in
+  let s12 = Portset.of_list [ 1; 2 ] in
+  let s2 = Portset.singleton 2 in
+  let truth_usage = [ [ (s01, 1) ]; [ (s12, 1) ]; [ (s2, 1) ] ] in
+  let catalog = toy_catalog 3 in
+  let truth = Mapping.create ~num_ports:3 in
+  List.iteri
+    (fun i usage -> Mapping.set truth (Catalog.find catalog i) usage)
+    truth_usage;
+  let base = cegis_config 3 in
+  let measure e = Cegis.modeled_inverse base truth e in
+  let specs =
+    List.mapi
+      (fun i usage ->
+         let ports =
+           List.fold_left (fun acc (p, _) -> acc + Portset.cardinal p) 0 usage
+         in
+         (Catalog.find catalog i, Encoding.Proper ports))
+      truth_usage
+  in
+  let run label config =
+    match Cegis.infer ~config ~measure ~specs () with
+    | Cegis.Converged (m, _) -> m
+    | Cegis.No_consistent_mapping _ -> Alcotest.failf "%s: unexpected UNSAT" label
+    | Cegis.Iteration_limit _ -> Alcotest.failf "%s: iteration limit" label
+  in
+  let m_inc =
+    run "incremental"
+      { base with Cegis.incremental_sat = true; memoized_oracle = true }
+  in
+  let m_fresh =
+    run "fresh"
+      { base with Cegis.incremental_sat = false; memoized_oracle = false }
+  in
+  check_equivalent base truth m_inc (Mapping.schemes m_inc);
+  check_equivalent base truth m_fresh (Mapping.schemes m_fresh);
+  (* Same trajectory, same SAT models: the mappings agree scheme by
+     scheme, not just up to throughput equivalence. *)
+  List.iter
+    (fun s ->
+       Alcotest.(check bool) (Scheme.name s) true
+         (Mapping.equal_usage (Mapping.usage m_inc s) (Mapping.usage m_fresh s)))
+    (Mapping.schemes m_inc)
+
 let test_cegis_unsat_on_anomaly () =
   (* Measurements that violate the port-mapping model (the §4.3 imul
      anomaly: 4 four-port adds plus a one-port imul at 1.5 cycles) must
@@ -572,6 +620,8 @@ let () =
        [ Alcotest.test_case "Figure 4 example" `Quick test_cegis_figure4;
          Alcotest.test_case "disjoint ports" `Quick test_cegis_disjoint;
          Alcotest.test_case "three instructions" `Quick test_cegis_three_instructions;
+         Alcotest.test_case "incremental matches fresh encodings" `Quick
+           test_cegis_incremental_matches_fresh;
          Alcotest.test_case "UNSAT on the imul anomaly (§4.3)" `Quick
            test_cegis_unsat_on_anomaly;
          QCheck_alcotest.to_alcotest prop_cegis_sound ]);

@@ -1,0 +1,35 @@
+type 'a t = {
+  mutable items : 'a array;
+  mutable len : int;
+}
+
+let create () = { items = [||]; len = 0 }
+
+let length v = v.len
+
+let push v x =
+  if v.len = Array.length v.items then begin
+    let cap = max 8 (2 * Array.length v.items) in
+    let items = Array.make cap x in
+    Array.blit v.items 0 items 0 v.len;
+    v.items <- items
+  end;
+  v.items.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.items.(i)
+
+let iter_from start f v =
+  for i = max 0 start to v.len - 1 do
+    f v.items.(i)
+  done
+
+let iter f v = iter_from 0 f v
+
+let exists p v =
+  let rec go i = i < v.len && (p v.items.(i) || go (i + 1)) in
+  go 0
+
+let to_list v = List.init v.len (fun i -> v.items.(i))

@@ -26,6 +26,14 @@ val subset : t -> t -> bool
 val proper_subset : t -> t -> bool
 val cardinal : t -> int
 val is_empty : t -> bool
+
+val to_mask : t -> int
+(** The underlying bit mask (bit [p] set iff port [p] is in the set).
+    Dense port-lattice tables ({!Oracle}) index by this mask. *)
+
+val of_mask : int -> t
+(** Inverse of {!to_mask}.  @raise Invalid_argument on negative masks. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
