@@ -21,10 +21,20 @@ let make_harness ~reduced ~seed =
   let config = { Machine.default_config with Machine.seed } in
   Harness.create (Machine.create ~config catalog)
 
+(* Set once from the command line (see [with_logs]) before any pipeline
+   run; [None] leaves the CEGIS solvers silent. *)
+let cnf_prefix = ref None
+
 let run_pipeline ~reduced ~seed =
   let harness = make_harness ~reduced ~seed in
+  let config =
+    { Pipeline.default_config with
+      Pipeline.cegis =
+        { Pipeline.default_config.Pipeline.cegis with
+          Pmi_core.Cegis.dump_cnf = !cnf_prefix } }
+  in
   let t0 = Unix.gettimeofday () in
-  let result = Pipeline.run harness in
+  let result = Pipeline.run ~config harness in
   let dt = Unix.gettimeofday () -. t0 in
   Format.printf "pipeline finished in %.1f s (%d benchmarks)@." dt
     (Harness.benchmarks_run harness);
@@ -133,7 +143,15 @@ let print_table2 (harness, result) =
        stats.Pmi_core.Cegis.iterations
        (List.length stats.Pmi_core.Cegis.observations)
        stats.Pmi_core.Cegis.candidates_tried
-       stats.Pmi_core.Cegis.theory_lemmas
+       stats.Pmi_core.Cegis.theory_lemmas;
+     let s = stats.Pmi_core.Cegis.sat in
+     Format.printf
+       "SAT:   %d decisions, %d propagations, %d conflicts, %d restarts, \
+        %d learned (max glue %d), %d deleted by reduction@."
+       s.Pmi_smt.Sat.decisions s.Pmi_smt.Sat.propagations
+       s.Pmi_smt.Sat.conflicts s.Pmi_smt.Sat.restarts
+       s.Pmi_smt.Sat.learned s.Pmi_smt.Sat.max_lbd
+       s.Pmi_smt.Sat.deleted
    | None -> ())
 
 let table2 reduced seed = print_table2 (run_pipeline ~reduced ~seed)
@@ -333,12 +351,20 @@ let verbose =
   let doc = "Enable informational logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let with_logs f reduced seed verbose =
+let dump_cnf =
+  let doc = "Write the final CNF of each CEGIS solver in DIMACS format to \
+             $(docv)-findmapping.cnf etc., for offline triage with an \
+             external SAT solver." in
+  Arg.(value & opt (some string) None & info [ "dump-cnf" ] ~docv:"PREFIX" ~doc)
+
+let with_logs f reduced seed verbose dump_cnf =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  cnf_prefix := dump_cnf;
   f reduced seed
 
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (with_logs f) $ reduced $ seed $ verbose)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -361,9 +387,9 @@ let () =
              Cmd.v
                (Cmd.info "analyze"
                   ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
-               Term.(const (fun insns reduced seed verbose ->
-                   with_logs (analyze_block insns) reduced seed verbose)
-                     $ insns $ reduced $ seed $ verbose));
+               Term.(const (fun insns reduced seed verbose dump_cnf ->
+                   with_logs (analyze_block insns) reduced seed verbose dump_cnf)
+                     $ insns $ reduced $ seed $ verbose $ dump_cnf));
             (let insns =
                let doc = "Instruction scheme (name or unique prefix); repeatable." in
                Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
@@ -372,6 +398,6 @@ let () =
                (Cmd.info "explain"
                   ~doc:"Show the explanatory microbenchmarks behind a scheme's \
                         inferred port usage")
-               Term.(const (fun insns reduced seed verbose ->
-                   with_logs (explain_scheme insns) reduced seed verbose)
-                     $ insns $ reduced $ seed $ verbose)) ]))
+               Term.(const (fun insns reduced seed verbose dump_cnf ->
+                   with_logs (explain_scheme insns) reduced seed verbose dump_cnf)
+                     $ insns $ reduced $ seed $ verbose $ dump_cnf)) ]))

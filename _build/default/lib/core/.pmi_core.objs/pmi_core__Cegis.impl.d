@@ -1,1 +1,1 @@
-lib/core/cegis.ml: Array Atomic Encoding List Logs Pmi_isa Pmi_measure Pmi_numeric Pmi_parallel Pmi_portmap Pmi_smt Vec
+lib/core/cegis.ml: Array Atomic Buffer Encoding Fun List Logs Pmi_isa Pmi_measure Pmi_numeric Pmi_parallel Pmi_portmap Pmi_smt Vec

@@ -1,1 +1,1 @@
-lib/core/cegis.mli: Encoding Pmi_isa Pmi_numeric Pmi_portmap
+lib/core/cegis.mli: Encoding Pmi_isa Pmi_numeric Pmi_portmap Pmi_smt

@@ -22,6 +22,8 @@ type config = {
   incremental_sat : bool;
   memoized_oracle : bool;
   domains : int;
+  clause_db_reduction : bool;
+  dump_cnf : string option;
 }
 
 let default_config =
@@ -34,7 +36,9 @@ let default_config =
     symmetry_breaking = true;
     incremental_sat = true;
     memoized_oracle = true;
-    domains = 1 }
+    domains = 1;
+    clause_db_reduction = true;
+    dump_cnf = None }
 
 type observation = {
   experiment : Experiment.t;
@@ -46,6 +50,7 @@ type stats = {
   observations : observation list;
   candidates_tried : int;
   theory_lemmas : int;
+  sat : Pmi_smt.Sat.stats;
 }
 
 type outcome =
@@ -101,12 +106,21 @@ let fresh_encoding config specs pool =
     Encoding.create ~num_ports:config.num_ports
       ~symmetry_breaking:config.symmetry_breaking specs
   in
+  Pmi_smt.Sat.set_reduce_enabled (Encoding.sat encoding)
+    config.clause_db_reduction;
   Vec.iter (Pmi_smt.Sat.add_clause (Encoding.sat encoding)) pool;
   encoding
 
+(* Theory-level solving, fanned out over a diversified solver portfolio when
+   the config grants more than one domain. *)
+let solve_sub config ?assumptions ~check sat =
+  if config.domains > 1 then
+    Solver.solve_portfolio ?assumptions ~domains:config.domains ~check sat
+  else Solver.solve ?assumptions ~check sat
+
 let find_mapping config encoding observations pool =
   let check = theory_check config encoding observations pool in
-  match Solver.solve ~check (Encoding.sat encoding) with
+  match solve_sub config ~check (Encoding.sat encoding) with
   | Solver.Sat model -> Some (Encoding.decode encoding model)
   | Solver.Unsat -> None
 
@@ -296,7 +310,7 @@ let find_other_mapping_incremental config state specs observations pool m1
       None
     end
     else begin
-      match Solver.solve ~assumptions ~check sat with
+      match solve_sub config ~assumptions ~check sat with
       | Solver.Unsat -> None
       | Solver.Sat model ->
         incr tried_counter;
@@ -325,7 +339,10 @@ let find_other_mapping_incremental config state specs observations pool m1
   state.o_synced <- Vec.length pool;
   result
 
-let find_other_mapping_fresh config specs observations pool m1 tried_counter =
+(* [sat_acc] accumulates the throwaway encoding's solver counters so the
+   per-run statistics stay comparable with the incremental path. *)
+let find_other_mapping_fresh config specs observations pool m1 tried_counter
+    sat_acc =
   let encoding = fresh_encoding config specs pool in
   let sat = Encoding.sat encoding in
   let check = theory_check config encoding observations pool in
@@ -337,7 +354,7 @@ let find_other_mapping_fresh config specs observations pool m1 tried_counter =
       None
     end
     else begin
-      match Solver.solve ~check sat with
+      match solve_sub config ~check sat with
       | Solver.Unsat -> None
       | Solver.Sat model ->
         incr tried_counter;
@@ -355,7 +372,9 @@ let find_other_mapping_fresh config specs observations pool m1 tried_counter =
         end
     end
   in
-  search config.max_other_candidates
+  let result = search config.max_other_candidates in
+  sat_acc := Pmi_smt.Sat.add_stats !sat_acc (Pmi_smt.Sat.stats sat);
+  result
 
 (* Canonical flooding experiments used to validate a converged mapping:
    [c×j, i] and [2c×j, i] for every c-port blocking instruction j and every
@@ -383,12 +402,31 @@ let validation_experiments specs =
     proper
   |> List.sort_uniq Experiment.compare
 
+(* Write the current clause set of an encoding's solver to [file] in DIMACS
+   format, for offline triage of hard instances. *)
+let dump_cnf_file sat file =
+  try
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+         let buf = Buffer.create 65536 in
+         Pmi_smt.Sat.to_dimacs sat buf;
+         Buffer.output_buffer oc buf);
+    Log.info (fun m -> m "wrote CNF to %s" file)
+  with Sys_error msg ->
+    Log.warn (fun m -> m "could not dump CNF: %s" msg)
+
 let explain ?(config = default_config) ~specs ~observations () =
   let pool = Vec.create () in
   let obs = Vec.create () in
   List.iter (Vec.push obs) observations;
   let encoding = fresh_encoding config specs pool in
-  find_mapping config encoding obs pool
+  let result = find_mapping config encoding obs pool in
+  (match config.dump_cnf with
+   | Some prefix -> dump_cnf_file (Encoding.sat encoding) (prefix ^ "-explain.cnf")
+   | None -> ());
+  result
 
 let infer ?(config = default_config) ~measure ~specs () =
   let pool = Vec.create () in
@@ -402,14 +440,19 @@ let infer ?(config = default_config) ~measure ~specs () =
   List.iter (fun (s, _) -> ignore (observe (Experiment.singleton s))) specs;
   let fm_encoding = fresh_encoding config specs pool in
   let other_state =
-    if config.incremental_sat then
-      Some
-        { o_encoding =
-            Encoding.create ~num_ports:config.num_ports
-              ~symmetry_breaking:config.symmetry_breaking specs;
-          o_synced = 0 }
+    if config.incremental_sat then begin
+      let o_encoding =
+        Encoding.create ~num_ports:config.num_ports
+          ~symmetry_breaking:config.symmetry_breaking specs
+      in
+      Pmi_smt.Sat.set_reduce_enabled (Encoding.sat o_encoding)
+        config.clause_db_reduction;
+      Some { o_encoding; o_synced = 0 }
+    end
     else None
   in
+  (* Solver counters of throwaway findOtherMapping encodings (fresh path). *)
+  let sat_extra = ref Pmi_smt.Sat.zero_stats in
   let find_other m1 tried =
     match other_state with
     | Some state ->
@@ -417,14 +460,45 @@ let infer ?(config = default_config) ~measure ~specs () =
         tried
     | None ->
       find_other_mapping_fresh config specs observations pool m1 tried
+        sat_extra
   in
   let tried = ref 0 in
+  let sat_stats () =
+    let acc = Pmi_smt.Sat.stats (Encoding.sat fm_encoding) in
+    let acc =
+      match other_state with
+      | Some state ->
+        Pmi_smt.Sat.add_stats acc
+          (Pmi_smt.Sat.stats (Encoding.sat state.o_encoding))
+      | None -> acc
+    in
+    Pmi_smt.Sat.add_stats acc !sat_extra
+  in
   let finish mk =
+    let sat = sat_stats () in
+    Log.info (fun m ->
+        m "solver: %d decisions, %d propagations, %d conflicts, %d restarts, \
+           %d learned (max glue %d), %d deleted by reduction"
+          sat.Pmi_smt.Sat.decisions sat.Pmi_smt.Sat.propagations
+          sat.Pmi_smt.Sat.conflicts sat.Pmi_smt.Sat.restarts
+          sat.Pmi_smt.Sat.learned sat.Pmi_smt.Sat.max_lbd
+          sat.Pmi_smt.Sat.deleted);
+    (match config.dump_cnf with
+     | Some prefix ->
+       dump_cnf_file (Encoding.sat fm_encoding) (prefix ^ "-findmapping.cnf");
+       (match other_state with
+        | Some state ->
+          dump_cnf_file
+            (Encoding.sat state.o_encoding)
+            (prefix ^ "-findothermapping.cnf")
+        | None -> ())
+     | None -> ());
     mk
       { iterations = 0;
         observations = Vec.to_list observations;
         candidates_tried = !tried;
-        theory_lemmas = Vec.length pool }
+        theory_lemmas = Vec.length pool;
+        sat }
   in
   let sweep = Array.of_list (validation_experiments specs) in
   let validate m1 =

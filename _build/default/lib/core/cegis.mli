@@ -38,12 +38,25 @@ type config = {
                                    recomputing per query; exact same
                                    rationals (default [true]) *)
   domains : int;               (** > 1 fans the stratified
-                                   distinguishing-experiment search and the
-                                   convergence validation sweep out over
-                                   that many OCaml domains.  The validation
-                                   sweep calls [measure] concurrently, so
-                                   only raise this with a thread-safe
-                                   measure function (default [1]) *)
+                                   distinguishing-experiment search, the
+                                   convergence validation sweep, {e and} the
+                                   SAT portfolio
+                                   ({!Pmi_smt.Solver.solve_portfolio}) out
+                                   over that many OCaml domains.  The
+                                   validation sweep calls [measure]
+                                   concurrently, so only raise this with a
+                                   thread-safe measure function (default
+                                   [1]) *)
+  clause_db_reduction : bool;  (** let the SAT engine periodically discard
+                                   high-glue learnt clauses
+                                   ({!Pmi_smt.Sat.set_reduce_enabled});
+                                   theory lemmas and blocking clauses are
+                                   problem clauses and never touched
+                                   (default [true]) *)
+  dump_cnf : string option;    (** [Some prefix] writes the final CNF of
+                                   each persistent solver in DIMACS format
+                                   to [prefix ^ "-findmapping.cnf"] etc.,
+                                   for offline triage (default [None]) *)
 }
 
 val default_config : config
@@ -59,6 +72,9 @@ type stats = {
   candidates_tried : int;           (** mappings examined by
                                         [find_other_mapping] overall *)
   theory_lemmas : int;
+  sat : Pmi_smt.Sat.stats;          (** aggregated solver counters across
+                                        the [findMapping] and
+                                        [findOtherMapping] encodings *)
 }
 
 type outcome =

@@ -132,9 +132,22 @@ let scheme_in_observation s obs =
 
    - {e probing}: pair each suspect with kernels of other classes and check
      whether its inconsistency reproduces independently of the co-suspects
-     (a multi-partner anomaly like vmovd flags itself decisively);
-   - {e heuristic ordering}: anomalies that only show against one specific
-     saturated class (the imul case) abstain from probing, so the fallback
+     (a multi-partner anomaly like vmovd flags itself decisively).  A probe
+     that clashes with exactly one kernel is attributed by a mirrored
+     probe: if the partner also clashes with others once the suspect is
+     out of the way, the partner owns the anomaly and the suspect is
+     exonerated (vpslld paired with vmovd); a partner that is clean on its
+     own convicts the suspect (imul against its saturated add partner);
+   - {e second-chance probing}: the refuting experiment may name only
+     innocent instructions — the real anomaly can sit in an {e earlier}
+     observation that merely clashes with the newest one, and which
+     observation arrives last depends on the solver's model enumeration
+     order.  When every suspect's probe abstains, re-probe every scheme
+     mentioned in any observation, this time excluding nobody from the
+     partner kernels: a saturation anomaly (the imul case) needs its flood
+     partner in the probe set, and that partner is often a co-suspect that
+     first-stage probing removed;
+   - {e heuristic ordering}: if both probe stages abstain, the fallback
      prefers the single-copy instruction of the refuting experiment over
      its flooded kernel, then the scheme with fewer observations overall. *)
 let find_culprit config harness specs observations =
@@ -167,45 +180,77 @@ let find_culprit config harness specs observations =
      ask whether {e any} mapping explains the suspect's own behaviour.
      Cross-observation contradictions (the vmovd case) and saturation
      anomalies (the imul case) both reappear in this focused set. *)
-  let flagged_by_probes (suspect, _) =
+  let observe e =
+    { Cegis.experiment = e; cycles = Harness.cycles harness e }
+  in
+  let specs_excluding excluding =
+    List.filter (fun (s, _) -> not (List.exists (Scheme.equal s) excluding)) specs
+  in
+  let kernels_of specs' suspect =
+    List.filter_map
+      (fun (s, spec) ->
+         match spec with
+         | Encoding.Proper c when not (Scheme.equal s suspect) -> Some (s, c)
+         | Encoding.Proper _ | Encoding.Improper _ -> None)
+      specs'
+  in
+  let singletons_of specs' =
+    List.map (fun (s, _) -> observe (Experiment.singleton s)) specs'
+  in
+  let pair_probes suspect (kernel, c) =
+    List.map
+      (fun copies ->
+         observe (Experiment.add suspect (Experiment.replicate copies kernel)))
+      [ 1; c; 2 * c ]
+  in
+  let explains specs' observations =
+    Cegis.explain ~config ~specs:specs' ~observations () <> None
+  in
+  (* Which kernels does [suspect] clash with pairwise?  Stops counting at
+     [limit] partners — the callers only distinguish zero, one, and many. *)
+  let clash_partners ~excluding ~limit suspect =
+    let specs' = specs_excluding excluding in
+    let singletons = singletons_of specs' in
+    let rec go acc = function
+      | [] -> acc
+      | k :: rest ->
+        if List.length acc >= limit then acc
+        else if explains specs' (singletons @ pair_probes suspect k) then
+          go acc rest
+        else go (fst k :: acc) rest
+    in
+    go [] (kernels_of specs' suspect)
+  in
+  let probe_flags ~excluding ((suspect, _)) =
+    let specs' = specs_excluding excluding in
+    let singletons = singletons_of specs' in
+    if not (explains specs' singletons) then
+      (* Degenerate: the per-class baselines alone are inconsistent, so
+         every probe inherits the contradiction and pair attribution is
+         meaningless.  Flag and let [try_without] arbitrate. *)
+      true
+    else begin
+      let kernels = kernels_of specs' suspect in
+      let probes = List.concat_map (pair_probes suspect) kernels in
+      if explains specs' (singletons @ probes) then false
+      else
+        match clash_partners ~excluding ~limit:2 suspect with
+        | [ k ] ->
+          (* Single clashing partner: the pair alone cannot say which of
+             the two is anomalous, so mirror the question (see the header
+             comment). *)
+          List.length (clash_partners ~excluding:[ suspect ] ~limit:2 k) < 2
+        | _ -> true
+    end
+  in
+  let flagged_by_probes ((suspect, _) as sp) =
     let others =
       List.filter (fun (s, _) -> not (Scheme.equal s suspect)) suspects
       |> List.map fst
     in
-    let specs' =
-      List.filter (fun (s, _) -> not (List.exists (Scheme.equal s) others)) specs
-    in
-    let kernels =
-      List.filter_map
-        (fun (s, spec) ->
-           match spec with
-           | Encoding.Proper c when not (Scheme.equal s suspect) -> Some (s, c)
-           | Encoding.Proper _ | Encoding.Improper _ -> None)
-        specs'
-    in
-    let observe e =
-      { Cegis.experiment = e; cycles = Harness.cycles harness e }
-    in
-    let singletons =
-      List.map (fun (s, _) -> observe (Experiment.singleton s)) specs'
-    in
-    let probes =
-      List.concat_map
-        (fun (kernel, c) ->
-           List.map
-             (fun copies ->
-                observe (Experiment.add suspect (Experiment.replicate copies kernel)))
-             [ 1; c; 2 * c ])
-        kernels
-    in
-    Cegis.explain ~config ~specs:specs'
-      ~observations:(singletons @ probes) ()
-    = None
+    probe_flags ~excluding:others sp
   in
-  let flagged = List.map fst (List.filter flagged_by_probes suspects) in
-  let flagged = List.filter (fun s -> try_without [ s ]) flagged in
-  if flagged <> [] then Some flagged
-  else begin
+  let heuristic_fallback () =
     let mentions s =
       List.length (List.filter (scheme_in_observation s) observations)
     in
@@ -232,6 +277,27 @@ let find_culprit config harness specs observations =
            | None -> pairs rest)
       in
       pairs candidates
+  in
+  let flagged = List.map fst (List.filter flagged_by_probes suspects) in
+  let flagged = List.filter (fun s -> try_without [ s ]) flagged in
+  if flagged <> [] then Some flagged
+  else begin
+    (* Second-chance probing (see the header comment): the anomaly may not
+       be named by the newest observation at all.  Probe every scheme that
+       any observation mentions, without excluding co-suspects — a
+       saturation anomaly only reproduces with its flood partner present —
+       and keep those whose removal also restores consistency. *)
+    let mentioned =
+      List.filter
+        (fun (s, _) -> List.exists (scheme_in_observation s) observations)
+        specs
+    in
+    let flagged =
+      List.map fst (List.filter (probe_flags ~excluding:[]) mentioned)
+    in
+    let flagged = List.filter (fun s -> try_without [ s ]) flagged in
+    if flagged <> [] then Some flagged
+    else heuristic_fallback ()
   end
 
 let run_cegis config harness classes improper =

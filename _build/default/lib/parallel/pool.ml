@@ -66,6 +66,38 @@ let map_array ?domains f arr =
 let map_list ?domains f xs =
   Array.to_list (map_array ?domains f (Array.of_list xs))
 
+let race ?domains tasks =
+  let n = Array.length tasks in
+  if n = 0 then None
+  else begin
+    let domains =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    let domains = min domains n in
+    if domains = 1 then begin
+      (* Sequential fallback: try the tasks in order. *)
+      let never () = false in
+      let rec go i =
+        if i >= n then None
+        else
+          match tasks.(i) never with
+          | Some _ as r -> r
+          | None -> go (i + 1)
+      in
+      go 0
+    end
+    else begin
+      let winner = Atomic.make None in
+      let stop () = Atomic.get winner <> None in
+      parallel_for ~domains ~n (fun i ->
+          if not (stop ()) then
+            match tasks.(i) stop with
+            | Some _ as r -> ignore (Atomic.compare_and_set winner None r)
+            | None -> ());
+      Atomic.get winner
+    end
+  end
+
 let find_first_index ?domains p arr =
   let n = Array.length arr in
   if n = 0 then None

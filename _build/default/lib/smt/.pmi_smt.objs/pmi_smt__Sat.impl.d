@@ -1,1 +1,1 @@
-lib/smt/sat.ml: Array List Lit
+lib/smt/sat.ml: Array Buffer List Lit Printf Seq

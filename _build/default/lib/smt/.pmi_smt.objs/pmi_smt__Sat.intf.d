@@ -1,1 +1,1 @@
-lib/smt/sat.mli: Lit
+lib/smt/sat.mli: Buffer Lit

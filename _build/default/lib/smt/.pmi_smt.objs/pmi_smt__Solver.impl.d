@@ -1,1 +1,1 @@
-lib/smt/solver.ml: Array List Lit Sat
+lib/smt/solver.ml: Array List Lit Pmi_parallel Sat

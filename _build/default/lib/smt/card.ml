@@ -37,6 +37,54 @@ let at_least solver lits k =
   else if k = 1 then Sat.add_clause solver lits
   else if k > 0 then at_most solver (List.map Lit.negate lits) (n - k)
 
+(* One register bank carrying both bounds.  The naive [at_most] + [at_least]
+   pairing builds two independent counters ((n-1)*n aux variables for the
+   usual k << n); sharing the chain needs only (n-1)*k.  The register
+   semantics is two-sided: the U clauses force s_{i,j} once > j of the first
+   i+1 literals are true (counting direction), and the L clauses only allow
+   s_{i,j} when that is the case (so the final register row can assert the
+   lower bound). *)
 let exactly solver lits k =
-  at_most solver lits k;
-  at_least solver lits k
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  if k < 0 || k > n then Sat.add_clause solver []
+  else if k = 0 then
+    Array.iter (fun l -> Sat.add_clause solver [ Lit.negate l ]) lits
+  else if k = n then Array.iter (fun l -> Sat.add_clause solver [ l ]) lits
+  else begin
+    (* 1 <= k < n, hence n >= 2. *)
+    let regs =
+      Array.init (n - 1) (fun _ -> Array.init k (fun _ -> Sat.fresh_var solver))
+    in
+    let s i j = Lit.pos regs.(i).(j) in
+    let not_s i j = Lit.neg_of_var regs.(i).(j) in
+    (* Row 0: s_{0,0} <-> x_0, higher registers off. *)
+    Sat.add_clause solver [ Lit.negate lits.(0); s 0 0 ];
+    Sat.add_clause solver [ not_s 0 0; lits.(0) ];
+    for j = 1 to k - 1 do
+      Sat.add_clause solver [ not_s 0 j ]
+    done;
+    for i = 1 to n - 2 do
+      (* Counting direction (upper bound): the register row is at least the
+         previous row, plus one if x_i is true. *)
+      Sat.add_clause solver [ Lit.negate lits.(i); s i 0 ];
+      Sat.add_clause solver [ not_s (i - 1) 0; s i 0 ];
+      (* Support direction (lower bound): a register only holds when the
+         previous row or the current literal accounts for it. *)
+      Sat.add_clause solver [ not_s i 0; s (i - 1) 0; lits.(i) ];
+      for j = 1 to k - 1 do
+        Sat.add_clause solver
+          [ Lit.negate lits.(i); not_s (i - 1) (j - 1); s i j ];
+        Sat.add_clause solver [ not_s (i - 1) j; s i j ];
+        Sat.add_clause solver [ not_s i j; s (i - 1) j; lits.(i) ];
+        Sat.add_clause solver [ not_s i j; s (i - 1) j; s (i - 1) (j - 1) ]
+      done;
+      (* Overflow: a true literal on a saturated row would exceed k. *)
+      Sat.add_clause solver [ Lit.negate lits.(i); not_s (i - 1) (k - 1) ]
+    done;
+    (* Last literal: cannot overflow, and must close the k-th register. *)
+    Sat.add_clause solver [ Lit.negate lits.(n - 1); not_s (n - 2) (k - 1) ];
+    Sat.add_clause solver [ s (n - 2) (k - 1); lits.(n - 1) ];
+    if k >= 2 then
+      Sat.add_clause solver [ s (n - 2) (k - 1); s (n - 2) (k - 2) ]
+  end

@@ -1,22 +1,70 @@
-(* MiniSat-style CDCL.  See sat.mli for the feature list.
+(* A MiniSat/Glucose-class CDCL engine.  See sat.mli for the feature list.
 
    Conventions:
-   - [value] is per *variable*: 0 undefined, 1 true, -1 false.
-   - A clause is an [int array] of literals; only clauses with at least two
-     literals live in the database, unit consequences go straight onto the
-     trail at level 0.
-   - Watch invariant: every database clause is watched by its first two
-     literals, and whenever a clause propagates, the propagated literal is
-     at index 0 (conflict analysis relies on this to skip the asserting
-     literal of reason clauses). *)
+   - [assigns] is per *literal*: 1 true, -1 false, 0 unassigned; the two
+     slots of a variable are kept consistent by [enqueue]/[cancel_until].
+   - Long clauses (>= 3 literals) live in a flat int-array arena as
+     [len; info; lit0; ...; lit_{len-1}] at a clause reference (cref); [info]
+     packs [(lbd lsl 2) lor (deleted lsl 1) lor learned].
+   - Binary clauses never enter the arena: they live in per-literal
+     implication lists keyed by the *asserted* literal, so propagating one
+     reads a flat array and never touches clause memory.
+   - Watch lists are flat int arrays of (cref, blocker) pairs; the blocker is
+     some other literal of the clause whose truth lets propagation skip the
+     clause without touching the arena.  Propagation allocates nothing.
+   - Watch invariant: every arena clause is watched by its first two
+     literals, and whenever a clause propagates, the propagated literal is at
+     index 0 (conflict analysis relies on this to skip the asserting literal
+     of reason clauses).
+   - [reason] per variable is encoded: [-1] for decisions and assumptions,
+     [cref lsl 1] for an arena clause, [(lit lsl 1) lor 1] for the other
+     literal of a binary clause.  Conflicts returned by [propagate] use the
+     same encoding, where odd means "binary conflict, both literals in
+     [bin_confl]". *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+  deleted : int;
+  max_lbd : int;
+}
+
+let zero_stats =
+  { decisions = 0; propagations = 0; conflicts = 0; restarts = 0;
+    learned = 0; deleted = 0; max_lbd = 0 }
+
+let add_stats a b =
+  { decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    conflicts = a.conflicts + b.conflicts;
+    restarts = a.restarts + b.restarts;
+    learned = a.learned + b.learned;
+    deleted = a.deleted + b.deleted;
+    max_lbd = max a.max_lbd b.max_lbd }
 
 type t = {
-  mutable clauses : int array array;
-  mutable n_clauses : int;
-  mutable watches : int list array;  (* indexed by literal *)
-  mutable value : int array;         (* per variable *)
+  (* Clause arena (long clauses only). *)
+  mutable arena : int array;
+  mutable arena_top : int;
+  mutable clauses : int array;       (* crefs of problem clauses *)
+  mutable n_problem : int;
+  mutable learnts : int array;       (* crefs of learned clauses *)
+  mutable n_learnts : int;
+  (* Binary clauses. *)
+  mutable bins : int array array;    (* implied literals, keyed by asserted literal *)
+  mutable bin_size : int array;
+  mutable bin_pairs : int array;     (* problem binary clauses, flat pairs *)
+  mutable n_bin_pairs : int;         (* ints used (2 per clause) *)
+  (* Watches. *)
+  mutable watch : int array array;   (* flat (cref, blocker) pairs per literal *)
+  mutable watch_size : int array;
+  (* Assignment. *)
+  mutable assigns : int array;       (* per *literal*: 1 true, -1 false, 0 unset *)
   mutable level : int array;
-  mutable reason : int array;        (* clause index, or -1 *)
+  mutable reason : int array;        (* encoded, see above *)
   mutable activity : float array;
   mutable phase : bool array;
   mutable seen : bool array;
@@ -28,7 +76,34 @@ type t = {
   mutable nvars : int;
   mutable var_inc : float;
   mutable ok : bool;
-  mutable conflicts : int;
+  (* VSIDS decision heap (indexed binary max-heap over [activity]). *)
+  mutable heap : int array;
+  mutable heap_index : int array;    (* -1 when not in the heap *)
+  mutable heap_size : int;
+  (* Scratch buffers. *)
+  bin_confl : int array;             (* the two literals of a binary conflict *)
+  mutable learnt_buf : int array;
+  mutable lbd_mark : int array;      (* keyed by decision level *)
+  mutable lbd_stamp : int;
+  (* Search policy (diversification knobs for the portfolio). *)
+  mutable seed : int;
+  mutable rand_freq : float;
+  mutable luby : bool;
+  mutable restart_base : int;
+  mutable reduce_enabled : bool;
+  mutable reduce_budget : int;       (* conflicts until the next reduction *)
+  mutable reduce_step : int;
+  (* Learned-clause export log (enabled on portfolio clones). *)
+  mutable log_enabled : bool;
+  mutable learnt_log : (int * int list) list;  (* (lbd, lits), newest first *)
+  (* Statistics. *)
+  mutable st_decisions : int;
+  mutable st_propagations : int;
+  mutable st_conflicts : int;
+  mutable st_restarts : int;
+  mutable st_learned : int;
+  mutable st_deleted : int;
+  mutable st_max_lbd : int;
 }
 
 type result =
@@ -36,10 +111,19 @@ type result =
   | Unsat
 
 let create () =
-  { clauses = Array.make 64 [||];
-    n_clauses = 0;
-    watches = Array.make 16 [];
-    value = Array.make 8 0;
+  { arena = Array.make 256 0;
+    arena_top = 0;
+    clauses = Array.make 64 0;
+    n_problem = 0;
+    learnts = Array.make 64 0;
+    n_learnts = 0;
+    bins = Array.make 16 [||];
+    bin_size = Array.make 16 0;
+    bin_pairs = Array.make 32 0;
+    n_bin_pairs = 0;
+    watch = Array.make 16 [||];
+    watch_size = Array.make 16 0;
+    assigns = Array.make 16 0;
     level = Array.make 8 0;
     reason = Array.make 8 (-1);
     activity = Array.make 8 0.0;
@@ -53,7 +137,32 @@ let create () =
     nvars = 0;
     var_inc = 1.0;
     ok = true;
-    conflicts = 0 }
+    heap = Array.make 8 0;
+    heap_index = Array.make 8 (-1);
+    heap_size = 0;
+    bin_confl = Array.make 2 0;
+    learnt_buf = Array.make 8 0;
+    lbd_mark = Array.make 8 0;
+    lbd_stamp = 0;
+    seed = 0x2545F491;
+    rand_freq = 0.0;
+    luby = false;
+    (* Geometric restarts with a large first interval: under the slow
+       activity decay (see [decay]) short Luby bursts relitigate the same
+       prefix on the symmetric CEGIS/cardinality encodings. *)
+    restart_base = 300;
+    reduce_enabled = true;
+    reduce_budget = 2000;
+    reduce_step = 2000;
+    log_enabled = false;
+    learnt_log = [];
+    st_decisions = 0;
+    st_propagations = 0;
+    st_conflicts = 0;
+    st_restarts = 0;
+    st_learned = 0;
+    st_deleted = 0;
+    st_max_lbd = 0 }
 
 let grow_array arr len fill =
   if Array.length arr >= len then arr
@@ -66,34 +175,183 @@ let grow_array arr len fill =
 let fresh_var s =
   let v = s.nvars in
   s.nvars <- v + 1;
-  s.value <- grow_array s.value s.nvars 0;
+  s.assigns <- grow_array s.assigns (2 * s.nvars) 0;
   s.level <- grow_array s.level s.nvars 0;
   s.reason <- grow_array s.reason s.nvars (-1);
   s.activity <- grow_array s.activity s.nvars 0.0;
   s.phase <- grow_array s.phase s.nvars false;
   s.seen <- grow_array s.seen s.nvars false;
   s.trail <- grow_array s.trail s.nvars 0;
-  s.watches <- grow_array s.watches (2 * s.nvars) [];
-  s.value.(v) <- 0;
+  s.heap <- grow_array s.heap s.nvars 0;
+  s.heap_index <- grow_array s.heap_index s.nvars (-1);
+  s.lbd_mark <- grow_array s.lbd_mark (s.nvars + 2) 0;
+  s.learnt_buf <- grow_array s.learnt_buf (s.nvars + 1) 0;
+  s.watch <- grow_array s.watch (2 * s.nvars) [||];
+  s.watch_size <- grow_array s.watch_size (2 * s.nvars) 0;
+  s.bins <- grow_array s.bins (2 * s.nvars) [||];
+  s.bin_size <- grow_array s.bin_size (2 * s.nvars) 0;
+  s.assigns.(2 * v) <- 0;
+  s.assigns.(2 * v + 1) <- 0;
   s.level.(v) <- 0;
   s.reason.(v) <- -1;
   s.activity.(v) <- 0.0;
+  (* Branch false-first until phase saving takes over: the port-usage and
+     cardinality encodings are mostly at-most-k, so sparse assignments
+     satisfy far more clauses than dense ones. *)
   s.phase.(v) <- false;
   s.seen.(v) <- false;
+  s.heap_index.(v) <- -1;
+  s.watch.(2 * v) <- [||];
+  s.watch.(2 * v + 1) <- [||];
+  s.watch_size.(2 * v) <- 0;
+  s.watch_size.(2 * v + 1) <- 0;
+  s.bins.(2 * v) <- [||];
+  s.bins.(2 * v + 1) <- [||];
+  s.bin_size.(2 * v) <- 0;
+  s.bin_size.(2 * v + 1) <- 0;
+  (* New variables enter the decision heap. *)
+  let i = s.heap_size in
+  s.heap.(i) <- v;
+  s.heap_index.(v) <- i;
+  s.heap_size <- i + 1;
   v
 
 let num_vars s = s.nvars
 let okay s = s.ok
-let num_conflicts s = s.conflicts
+let num_conflicts s = s.st_conflicts
 
-let lit_value s l =
-  let v = s.value.(Lit.var l) in
-  if v = 0 then 0 else if Lit.is_pos l then v else -v
+let stats s =
+  { decisions = s.st_decisions;
+    propagations = s.st_propagations;
+    conflicts = s.st_conflicts;
+    restarts = s.st_restarts;
+    learned = s.st_learned;
+    deleted = s.st_deleted;
+    max_lbd = s.st_max_lbd }
+
+let absorb_stats s other =
+  s.st_decisions <- s.st_decisions + other.st_decisions;
+  s.st_propagations <- s.st_propagations + other.st_propagations;
+  s.st_conflicts <- s.st_conflicts + other.st_conflicts;
+  s.st_restarts <- s.st_restarts + other.st_restarts;
+  s.st_learned <- s.st_learned + other.st_learned;
+  s.st_deleted <- s.st_deleted + other.st_deleted;
+  s.st_max_lbd <- max s.st_max_lbd other.st_max_lbd
+
+(* ------------------------------------------------------------------ *)
+(* Policy knobs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let set_seed s n = s.seed <- (if n = 0 then 0x2545F491 else n land max_int)
+let set_random_var_freq s f = s.rand_freq <- f
+let set_reduce_enabled s b = s.reduce_enabled <- b
+
+let set_restart s = function
+  | `Luby base -> s.luby <- true; s.restart_base <- max 1 base
+  | `Geometric base -> s.luby <- false; s.restart_base <- max 1 base
+
+let rand_bits s =
+  let x = s.seed in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  s.seed <- (if x = 0 then 0x2545F491 else x);
+  s.seed
+
+let rand_float s = float_of_int (rand_bits s land 0xFFFFFF) /. 16777216.0
+let rand_int s n = rand_bits s mod n
+
+let invert_phases s =
+  for v = 0 to s.nvars - 1 do
+    s.phase.(v) <- not s.phase.(v)
+  done
+
+let randomize_phases s =
+  for v = 0 to s.nvars - 1 do
+    s.phase.(v) <- rand_bits s land 1 = 1
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Values, heap, trail                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] lit_value s l = s.assigns.(l)
+let[@inline] var_value s v = s.assigns.(2 * v)
+
+let heap_swap s i j =
+  let u = s.heap.(i) and v = s.heap.(j) in
+  s.heap.(i) <- v;
+  s.heap.(j) <- u;
+  s.heap_index.(v) <- i;
+  s.heap_index.(u) <- j
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(parent)) then begin
+      heap_swap s i parent;
+      sift_up s parent
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 in
+  if l < s.heap_size then begin
+    let r = l + 1 in
+    let best =
+      if r < s.heap_size && s.activity.(s.heap.(r)) > s.activity.(s.heap.(l))
+      then r
+      else l
+    in
+    if s.activity.(s.heap.(best)) > s.activity.(s.heap.(i)) then begin
+      heap_swap s i best;
+      sift_down s best
+    end
+  end
+
+let heap_insert s v =
+  if s.heap_index.(v) < 0 then begin
+    let i = s.heap_size in
+    s.heap.(i) <- v;
+    s.heap_index.(v) <- i;
+    s.heap_size <- i + 1;
+    sift_up s i
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  let last = s.heap.(s.heap_size) in
+  s.heap.(0) <- last;
+  s.heap_index.(last) <- 0;
+  s.heap_index.(v) <- -1;
+  if s.heap_size > 1 then sift_down s 0;
+  v
+
+let rescale_activities s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale_activities s;
+  if s.heap_index.(v) >= 0 then sift_up s s.heap_index.(v)
+
+(* A slow decay (0.99, vs MiniSat's 0.95) keeps activities closer to
+   conflict *counts* than to recency.  On the symmetric instances this
+   solver actually faces — cardinality registers, pigeonhole-style
+   blocking — a recency-heavy order relitigates interchangeable variables
+   after every restart; measured on pigeonhole 7/6 and 8/7 the slow decay
+   roughly halves the conflicts. *)
+let decay s = s.var_inc <- s.var_inc /. 0.99
 
 let enqueue s lit reason =
   let v = Lit.var lit in
-  assert (s.value.(v) = 0);
-  s.value.(v) <- (if Lit.is_pos lit then 1 else -1);
+  s.assigns.(lit) <- 1;
+  s.assigns.(lit lxor 1) <- -1;
   s.level.(v) <- s.n_levels;
   s.reason.(v) <- reason;
   s.trail.(s.trail_size) <- lit;
@@ -111,135 +369,414 @@ let cancel_until s lvl =
       let lit = s.trail.(i) in
       let v = Lit.var lit in
       s.phase.(v) <- Lit.is_pos lit;
-      s.value.(v) <- 0;
-      s.reason.(v) <- -1
+      s.assigns.(lit) <- 0;
+      s.assigns.(lit lxor 1) <- 0;
+      s.reason.(v) <- -1;
+      heap_insert s v
     done;
     s.trail_size <- bound;
     s.qhead <- bound;
     s.n_levels <- lvl
   end
 
-(* Two-watched-literal unit propagation; returns the index of a conflicting
-   clause or -1. *)
+(* ------------------------------------------------------------------ *)
+(* Clause arena                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let c_len s cr = s.arena.(cr)
+let c_lit s cr i = s.arena.(cr + 2 + i)
+let c_learned s cr = s.arena.(cr + 1) land 1 = 1
+let c_deleted s cr = s.arena.(cr + 1) land 2 <> 0
+let c_delete s cr = s.arena.(cr + 1) <- s.arena.(cr + 1) lor 2
+let c_lbd s cr = s.arena.(cr + 1) lsr 2
+
+let alloc_clause s lits ~learned ~lbd =
+  let len = Array.length lits in
+  let need = s.arena_top + len + 2 in
+  if need > Array.length s.arena then begin
+    let a = Array.make (max need (2 * Array.length s.arena)) 0 in
+    Array.blit s.arena 0 a 0 s.arena_top;
+    s.arena <- a
+  end;
+  let cr = s.arena_top in
+  s.arena.(cr) <- len;
+  s.arena.(cr + 1) <- (lbd lsl 2) lor (if learned then 1 else 0);
+  Array.blit lits 0 s.arena (cr + 2) len;
+  s.arena_top <- need;
+  cr
+
+let push_watch s l cr blocker =
+  let n = s.watch_size.(l) in
+  let d = s.watch.(l) in
+  let d =
+    if n + 2 > Array.length d then begin
+      let d' = Array.make (max 8 (2 * Array.length d)) 0 in
+      Array.blit d 0 d' 0 n;
+      s.watch.(l) <- d';
+      d'
+    end
+    else d
+  in
+  d.(n) <- cr;
+  d.(n + 1) <- blocker;
+  s.watch_size.(l) <- n + 2
+
+let push_bin s l implied =
+  let n = s.bin_size.(l) in
+  let d = s.bins.(l) in
+  let d =
+    if n >= Array.length d then begin
+      let d' = Array.make (max 4 (2 * Array.length d)) 0 in
+      Array.blit d 0 d' 0 n;
+      s.bins.(l) <- d';
+      d'
+    end
+    else d
+  in
+  d.(n) <- implied;
+  s.bin_size.(l) <- n + 1
+
+let attach_clause s cr =
+  let l0 = c_lit s cr 0 and l1 = c_lit s cr 1 in
+  push_watch s l0 cr l1;
+  push_watch s l1 cr l0
+
+(* Register a binary clause {a, b} in the implication lists. *)
+let attach_binary s a b =
+  push_bin s (Lit.negate a) b;
+  push_bin s (Lit.negate b) a
+
+let push_cref s ~learned cr =
+  if learned then begin
+    s.learnts <- grow_array s.learnts (s.n_learnts + 1) 0;
+    s.learnts.(s.n_learnts) <- cr;
+    s.n_learnts <- s.n_learnts + 1
+  end
+  else begin
+    s.clauses <- grow_array s.clauses (s.n_problem + 1) 0;
+    s.clauses.(s.n_problem) <- cr;
+    s.n_problem <- s.n_problem + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Propagation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two-watched-literal unit propagation with blocking literals plus binary
+   implication lists.  Allocation-free.  Returns an encoded conflict
+   (see the header comment) or -1.
+
+   This is the solver's innermost loop, so it uses unsafe array accesses on
+   indices the watch/trail invariants already bound: [qhead < trail_size <=
+   nvars], watch and bins cursors stay below the recorded sizes, and arena
+   offsets come from attached crefs.  [assigns] is hoisted into a local —
+   nothing below reallocates it ([enqueue] only writes) — while [wd] is
+   re-read per literal because [push_watch] may reallocate other lists. *)
 let propagate s =
+  let assigns = s.assigns in
+  let trail = s.trail in
   let conflict = ref (-1) in
   while !conflict < 0 && s.qhead < s.trail_size do
-    let p = s.trail.(s.qhead) in
+    let p = Array.unsafe_get trail s.qhead in
     s.qhead <- s.qhead + 1;
-    let false_lit = Lit.negate p in
-    let watching = s.watches.(false_lit) in
-    s.watches.(false_lit) <- [];
-    let rec process = function
-      | [] -> ()
-      | ci :: rest ->
-        let c = s.clauses.(ci) in
-        if c.(0) = false_lit then begin
-          c.(0) <- c.(1);
-          c.(1) <- false_lit
-        end;
-        if lit_value s c.(0) = 1 then begin
-          (* Clause already satisfied; keep the watch. *)
-          s.watches.(false_lit) <- ci :: s.watches.(false_lit);
-          process rest
-        end else begin
-          let len = Array.length c in
-          let rec find_watch k =
-            if k >= len then -1
-            else if lit_value s c.(k) >= 0 then k
-            else find_watch (k + 1)
-          in
-          let k = find_watch 2 in
-          if k >= 0 then begin
-            c.(1) <- c.(k);
-            c.(k) <- false_lit;
-            s.watches.(c.(1)) <- ci :: s.watches.(c.(1));
-            process rest
-          end else begin
-            s.watches.(false_lit) <- ci :: s.watches.(false_lit);
-            if lit_value s c.(0) = -1 then begin
-              (* Conflict: put the unprocessed suffix back. *)
-              s.watches.(false_lit) <-
-                List.rev_append rest s.watches.(false_lit);
-              s.qhead <- s.trail_size;
-              conflict := ci
-            end else begin
-              enqueue s c.(0) ci;
-              process rest
+    s.st_propagations <- s.st_propagations + 1;
+    (* Binary implications of p first: cheapest, and they seed the queue
+       before any clause memory is touched. *)
+    let bd = Array.unsafe_get s.bins p in
+    let bn = Array.unsafe_get s.bin_size p in
+    let i = ref 0 in
+    while !conflict < 0 && !i < bn do
+      let q = Array.unsafe_get bd !i in
+      let vq = Array.unsafe_get assigns q in
+      if vq < 0 then begin
+        s.bin_confl.(0) <- Lit.negate p;
+        s.bin_confl.(1) <- q;
+        s.qhead <- s.trail_size;
+        conflict := 1
+      end
+      else if vq = 0 then enqueue s q ((Lit.negate p lsl 1) lor 1);
+      incr i
+    done;
+    if !conflict < 0 then begin
+      let false_lit = Lit.negate p in
+      let arena = s.arena in
+      let wd = Array.unsafe_get s.watch false_lit in
+      let wn = Array.unsafe_get s.watch_size false_lit in
+      let i = ref 0 in
+      let j = ref 0 in
+      while !i < wn do
+        if !conflict >= 0 then begin
+          (* Conflict already found: keep the unprocessed suffix. *)
+          Array.unsafe_set wd !j (Array.unsafe_get wd !i);
+          Array.unsafe_set wd (!j + 1) (Array.unsafe_get wd (!i + 1));
+          i := !i + 2;
+          j := !j + 2
+        end
+        else begin
+          let cr = Array.unsafe_get wd !i in
+          let blocker = Array.unsafe_get wd (!i + 1) in
+          if Array.unsafe_get assigns blocker = 1 then begin
+            (* Blocking literal satisfied: skip without touching the arena. *)
+            Array.unsafe_set wd !j cr;
+            Array.unsafe_set wd (!j + 1) blocker;
+            i := !i + 2;
+            j := !j + 2
+          end
+          else begin
+            let base = cr + 2 in
+            (* Make sure the false literal is at index 1. *)
+            if Array.unsafe_get arena base = false_lit then begin
+              Array.unsafe_set arena base (Array.unsafe_get arena (base + 1));
+              Array.unsafe_set arena (base + 1) false_lit
+            end;
+            let first = Array.unsafe_get arena base in
+            if first <> blocker && Array.unsafe_get assigns first = 1
+            then begin
+              (* Clause satisfied by its other watch; make it the blocker. *)
+              Array.unsafe_set wd !j cr;
+              Array.unsafe_set wd (!j + 1) first;
+              i := !i + 2;
+              j := !j + 2
+            end
+            else begin
+              let len = Array.unsafe_get arena cr in
+              let k = ref (base + 2) in
+              let stop = base + len in
+              while
+                !k < stop
+                && Array.unsafe_get assigns (Array.unsafe_get arena !k) < 0
+              do
+                incr k
+              done;
+              if !k < stop then begin
+                (* Found a new watch: move the clause to its list. *)
+                Array.unsafe_set arena (base + 1) (Array.unsafe_get arena !k);
+                Array.unsafe_set arena !k false_lit;
+                push_watch s (Array.unsafe_get arena (base + 1)) cr first;
+                i := !i + 2
+              end
+              else begin
+                (* Unit or conflicting: the watch stays here. *)
+                Array.unsafe_set wd !j cr;
+                Array.unsafe_set wd (!j + 1) first;
+                i := !i + 2;
+                j := !j + 2;
+                if Array.unsafe_get assigns first < 0 then begin
+                  s.qhead <- s.trail_size;
+                  conflict := cr lsl 1
+                end
+                else enqueue s first (cr lsl 1)
+              end
             end
           end
         end
-    in
-    process watching
+      done;
+      s.watch_size.(false_lit) <- !j
+    end
   done;
   !conflict
 
-let rescale_activities s =
-  for v = 0 to s.nvars - 1 do
-    s.activity.(v) <- s.activity.(v) *. 1e-100
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let abstract_level s v = 1 lsl (s.level.(v) land 62)
+
+(* Is [lit] implied by the rest of the (marked) learnt clause?  The classic
+   recursive MiniSat check: walk the implication graph below [lit]; every
+   path must end in marked literals without leaving the clause's decision
+   levels.  Newly marked variables are recorded in [extra] so the caller can
+   clear them; on failure the marks added by this call are rolled back. *)
+exception Not_redundant
+
+let lit_redundant s abstract_levels extra lit =
+  let added = ref [] in
+  let rec go l =
+    let v = Lit.var l in
+    let r = s.reason.(v) in
+    if r < 0 then raise_notrace Not_redundant;
+    let visit q =
+      let w = Lit.var q in
+      if (not s.seen.(w)) && s.level.(w) > 0 then begin
+        if s.reason.(w) >= 0 && abstract_level s w land abstract_levels <> 0
+        then begin
+          s.seen.(w) <- true;
+          added := w :: !added;
+          go q
+        end
+        else raise_notrace Not_redundant
+      end
+    in
+    if r land 1 = 1 then visit (r lsr 1)
+    else begin
+      let cr = r lsr 1 in
+      let len = c_len s cr in
+      for j = 1 to len - 1 do
+        visit (c_lit s cr j)
+      done
+    end
+  in
+  match go lit with
+  | () ->
+    extra := List.rev_append !added !extra;
+    true
+  | exception Not_redundant ->
+    List.iter (fun w -> s.seen.(w) <- false) !added;
+    false
+
+(* Distinct decision levels among the first [n] literals of [lits] (the
+   "glue" of a learnt clause). *)
+let compute_lbd s lits n =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let lvl = s.level.(Lit.var lits.(i)) in
+    if lvl > 0 && s.lbd_mark.(lvl) <> stamp then begin
+      s.lbd_mark.(lvl) <- stamp;
+      incr count
+    end
   done;
-  s.var_inc <- s.var_inc *. 1e-100
+  !count
 
-let bump s v =
-  s.activity.(v) <- s.activity.(v) +. s.var_inc;
-  if s.activity.(v) > 1e100 then rescale_activities s
-
-let decay s = s.var_inc <- s.var_inc /. 0.95
-
-(* First-UIP conflict analysis.  Returns the learnt clause (asserting literal
-   first) and the backjump level. *)
+(* First-UIP conflict analysis with recursive clause minimization.  Fills
+   [s.learnt_buf] (asserting literal first) and returns
+   (number of literals, backjump level, lbd). *)
 let analyze s confl =
-  let learnt = ref [] in
   let to_clear = ref [] in
+  let buf = s.learnt_buf in
+  let n_learnt = ref 1 in            (* slot 0 reserved for the asserting literal *)
   let path = ref 0 in
   let p = ref (-1) in
   let index = ref (s.trail_size - 1) in
   let confl = ref confl in
   let continue = ref true in
-  while !continue do
-    let c = s.clauses.(!confl) in
-    let start = if !p < 0 then 0 else 1 in
-    for j = start to Array.length c - 1 do
-      let q = c.(j) in
-      let v = Lit.var q in
-      if (not s.seen.(v)) && s.level.(v) > 0 then begin
-        s.seen.(v) <- true;
-        to_clear := v :: !to_clear;
-        bump s v;
-        if s.level.(v) >= s.n_levels then incr path
-        else learnt := q :: !learnt
+  let seen = s.seen in
+  let level = s.level in
+  let trail = s.trail in
+  (* Allocated once per conflict, not per resolution step. *)
+  let mark q =
+    let v = q lsr 1 in
+    if
+      (not (Array.unsafe_get seen v)) && Array.unsafe_get level v > 0
+    then begin
+      Array.unsafe_set seen v true;
+      to_clear := v :: !to_clear;
+      bump s v;
+      if Array.unsafe_get level v >= s.n_levels then incr path
+      else begin
+        Array.unsafe_set buf !n_learnt q;
+        incr n_learnt
       end
-    done;
+    end
+  in
+  while !continue do
+    (if !confl land 1 = 1 then begin
+       if !p < 0 then begin
+         mark s.bin_confl.(0);
+         mark s.bin_confl.(1)
+       end
+       else mark (!confl lsr 1)
+     end
+     else begin
+       let cr = !confl lsr 1 in
+       let arena = s.arena in
+       let stop = cr + 2 + Array.unsafe_get arena cr in
+       let j = ref (if !p < 0 then cr + 2 else cr + 3) in
+       while !j < stop do
+         mark (Array.unsafe_get arena !j);
+         incr j
+       done
+     end);
     (* Walk the trail back to the most recently assigned marked literal. *)
-    while not s.seen.(Lit.var s.trail.(!index)) do decr index done;
-    p := s.trail.(!index);
+    while
+      not (Array.unsafe_get seen (Array.unsafe_get trail !index lsr 1))
+    do
+      decr index
+    done;
+    p := Array.unsafe_get trail !index;
     decr index;
-    s.seen.(Lit.var !p) <- false;
+    Array.unsafe_set seen (!p lsr 1) false;
     decr path;
     if !path = 0 then continue := false
-    else confl := s.reason.(Lit.var !p)
+    else confl := Array.unsafe_get s.reason (!p lsr 1)
   done;
-  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
-  let asserting = Lit.negate !p in
-  let tail = !learnt in
+  buf.(0) <- Lit.negate !p;
+  (* Minimize: drop tail literals implied by the rest of the clause. *)
+  let abstract_levels = ref 0 in
+  for i = 1 to !n_learnt - 1 do
+    abstract_levels := !abstract_levels lor abstract_level s (Lit.var buf.(i))
+  done;
+  let kept = ref 1 in
+  for i = 1 to !n_learnt - 1 do
+    let q = buf.(i) in
+    if
+      s.reason.(Lit.var q) < 0
+      || not (lit_redundant s !abstract_levels to_clear q)
+    then begin
+      buf.(!kept) <- q;
+      incr kept
+    end
+  done;
+  let n = !kept in
+  (* Move (one of) the highest-level tail literals to slot 1 so it can be
+     watched: it is falsified last on backjump. *)
   let backjump =
-    List.fold_left (fun acc q -> max acc (s.level.(Lit.var q))) 0 tail
+    if n <= 1 then 0
+    else begin
+      let best = ref 1 in
+      for i = 2 to n - 1 do
+        if s.level.(Lit.var buf.(i)) > s.level.(Lit.var buf.(!best)) then
+          best := i
+      done;
+      let tmp = buf.(1) in
+      buf.(1) <- buf.(!best);
+      buf.(!best) <- tmp;
+      s.level.(Lit.var buf.(1))
+    end
   in
-  (asserting :: tail, backjump)
+  let lbd = compute_lbd s buf n in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  (n, backjump, lbd)
 
-let attach_clause s lits =
-  let ci = s.n_clauses in
-  if ci >= Array.length s.clauses then begin
-    let out = Array.make (2 * Array.length s.clauses) [||] in
-    Array.blit s.clauses 0 out 0 ci;
-    s.clauses <- out
+(* Install the learnt clause sitting in [s.learnt_buf] after the backjump
+   and assert its first literal. *)
+let record_learnt s n lbd =
+  s.st_learned <- s.st_learned + 1;
+  if lbd > s.st_max_lbd then s.st_max_lbd <- lbd;
+  if s.log_enabled then begin
+    let lits = Array.to_list (Array.sub s.learnt_buf 0 n) in
+    s.learnt_log <- (lbd, lits) :: s.learnt_log
   end;
-  s.clauses.(ci) <- lits;
-  s.n_clauses <- ci + 1;
-  s.watches.(lits.(0)) <- ci :: s.watches.(lits.(0));
-  s.watches.(lits.(1)) <- ci :: s.watches.(lits.(1));
-  ci
+  if n = 1 then enqueue s s.learnt_buf.(0) (-1)
+  else if n = 2 then begin
+    let a = s.learnt_buf.(0) and b = s.learnt_buf.(1) in
+    attach_binary s a b;
+    enqueue s a ((b lsl 1) lor 1)
+  end
+  else begin
+    (* Copy straight from the scratch buffer; no intermediate array. *)
+    let need = s.arena_top + n + 2 in
+    if need > Array.length s.arena then begin
+      let a = Array.make (max need (2 * Array.length s.arena)) 0 in
+      Array.blit s.arena 0 a 0 s.arena_top;
+      s.arena <- a
+    end;
+    let cr = s.arena_top in
+    s.arena.(cr) <- n;
+    s.arena.(cr + 1) <- (lbd lsl 2) lor 1;
+    Array.blit s.learnt_buf 0 s.arena (cr + 2) n;
+    s.arena_top <- need;
+    push_cref s ~learned:true cr;
+    attach_clause s cr;
+    enqueue s s.learnt_buf.(0) (cr lsl 1)
+  end
 
-let add_clause s lits =
+(* ------------------------------------------------------------------ *)
+(* Adding clauses                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let add_clause_internal s ~learned ~lbd lits =
   assert (s.n_levels = 0);
   if s.ok then begin
     (* Simplify: drop duplicates and root-level-false literals, detect
@@ -256,94 +793,372 @@ let add_clause s lits =
       | [ l ] ->
         enqueue s l (-1);
         if propagate s >= 0 then s.ok <- false
+      | [ a; b ] ->
+        attach_binary s a b;
+        if not learned then begin
+          s.bin_pairs <- grow_array s.bin_pairs (s.n_bin_pairs + 2) 0;
+          s.bin_pairs.(s.n_bin_pairs) <- a;
+          s.bin_pairs.(s.n_bin_pairs + 1) <- b;
+          s.n_bin_pairs <- s.n_bin_pairs + 2
+        end
       | l0 :: l1 :: rest ->
-        ignore (attach_clause s (Array.of_list (l0 :: l1 :: rest)))
+        let arr = Array.of_list (l0 :: l1 :: rest) in
+        let cr = alloc_clause s arr ~learned ~lbd in
+        push_cref s ~learned cr;
+        attach_clause s cr
     end
   end
 
-(* Install a learnt clause after backjumping and assert its first literal. *)
-let record_learnt s lits =
-  match lits with
-  | [] -> s.ok <- false
-  | [ l ] -> enqueue s l (-1)
-  | l0 :: rest ->
-    (* Watch the asserting literal and (one of) the highest-level others. *)
-    let arr = Array.of_list (l0 :: rest) in
-    let best = ref 1 in
-    for j = 2 to Array.length arr - 1 do
-      if s.level.(Lit.var arr.(j)) > s.level.(Lit.var arr.(!best)) then best := j
-    done;
-    let tmp = arr.(1) in
-    arr.(1) <- arr.(!best);
-    arr.(!best) <- tmp;
-    let ci = attach_clause s arr in
-    enqueue s l0 ci
+let add_clause s lits = add_clause_internal s ~learned:false ~lbd:0 lits
 
-let pick_branch_var s =
-  let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = 0 to s.nvars - 1 do
-    if s.value.(v) = 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
+let add_learnt s ~lbd lits =
+  let lbd = max 1 lbd in
+  s.st_learned <- s.st_learned + 1;
+  if lbd > s.st_max_lbd then s.st_max_lbd <- lbd;
+  add_clause_internal s ~learned:true ~lbd lits
+
+let new_learnts s = List.rev s.learnt_log
+
+(* ------------------------------------------------------------------ *)
+(* Clause-database reduction                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Put the two best literals of the clause at [cr] (in the *new* arena) into
+   the watch slots: non-false under the current (level-0) assignment when
+   possible.  Clauses left with a false watch are satisfied at level 0 (all
+   level-0 literals are fully propagated), so the invariant holds. *)
+let reorder_watch_slots s cr =
+  let base = cr + 2 in
+  let len = s.arena.(cr) in
+  let pick slot =
+    if lit_value s s.arena.(base + slot) < 0 then begin
+      let k = ref (slot + 1) in
+      while !k < len && lit_value s s.arena.(base + !k) < 0 do incr k done;
+      if !k < len then begin
+        let tmp = s.arena.(base + slot) in
+        s.arena.(base + slot) <- s.arena.(base + !k);
+        s.arena.(base + !k) <- tmp
+      end
+    end
+  in
+  pick 0;
+  pick 1
+
+(* Glucose-style reduction, run at decision level 0 (restart points): delete
+   the worst half of the deletable learnt clauses — high LBD first, ties by
+   size — keeping "glue" clauses (LBD <= 2) forever.  Binary and unit learnt
+   clauses never enter the arena and are likewise permanent.  Problem
+   clauses (including the activation-literal clauses of the incremental
+   CEGIS encoding) are never candidates.  The surviving clauses are
+   compacted into a fresh arena and all watch lists are rebuilt. *)
+let reduce_db s =
+  assert (s.n_levels = 0);
+  (* Level-0 reasons are never followed by [analyze]; clearing them keeps
+     every learnt clause unlocked and lets the arena move. *)
+  for i = 0 to s.trail_size - 1 do
+    s.reason.(Lit.var s.trail.(i)) <- -1
+  done;
+  let deletable =
+    Array.of_seq
+      (Seq.filter
+         (fun cr -> c_lbd s cr > 2)
+         (Seq.init s.n_learnts (fun i -> s.learnts.(i))))
+  in
+  Array.sort
+    (fun a b ->
+       let c = compare (c_lbd s b) (c_lbd s a) in
+       if c <> 0 then c else compare (c_len s b) (c_len s a))
+    deletable;
+  let victims = Array.length deletable / 2 in
+  for i = 0 to victims - 1 do
+    c_delete s deletable.(i)
+  done;
+  s.st_deleted <- s.st_deleted + victims;
+  (* Compact the arena and rebuild the watch lists. *)
+  let old = s.arena in
+  let fresh = Array.make (Array.length old) 0 in
+  let top = ref 0 in
+  let move cr =
+    let len = old.(cr) in
+    let dst = !top in
+    Array.blit old cr fresh dst (len + 2);
+    top := dst + len + 2;
+    dst
+  in
+  for i = 0 to s.n_problem - 1 do
+    s.clauses.(i) <- move s.clauses.(i)
+  done;
+  let kept = ref 0 in
+  for i = 0 to s.n_learnts - 1 do
+    let cr = s.learnts.(i) in
+    if not (c_deleted s cr) then begin
+      s.learnts.(!kept) <- move cr;
+      incr kept
     end
   done;
-  !best
+  s.n_learnts <- !kept;
+  s.arena <- fresh;
+  s.arena_top <- !top;
+  Array.fill s.watch_size 0 (Array.length s.watch_size) 0;
+  for i = 0 to s.n_problem - 1 do
+    reorder_watch_slots s s.clauses.(i);
+    attach_clause s s.clauses.(i)
+  done;
+  for i = 0 to s.n_learnts - 1 do
+    reorder_watch_slots s s.learnts.(i);
+    attach_clause s s.learnts.(i)
+  done;
+  (* Glucose-style schedule: the interval to the next reduction grows each
+     time, so reductions get rarer as the search matures. *)
+  s.reduce_step <- s.reduce_step + 300;
+  s.reduce_budget <- s.st_conflicts + s.reduce_step
 
-let solve ?(assumptions = []) s =
-  if not s.ok then Unsat
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* luby 2 i: the i-th element (from 0) of the Luby restart sequence
+   1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby_unit i =
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let pick_branch_var s =
+  let v = ref (-1) in
+  if s.rand_freq > 0.0 && s.nvars > 0 && rand_float s < s.rand_freq then begin
+    let cand = rand_int s s.nvars in
+    if var_value s cand = 0 then v := cand
+  end;
+  while !v < 0 && s.heap_size > 0 do
+    let cand = heap_pop s in
+    if var_value s cand = 0 then v := cand
+  done;
+  !v
+
+let solve_opt ?(assumptions = []) ?(stop = fun () -> false) s =
+  if not s.ok then Some Unsat
   else begin
     cancel_until s 0;
     let assumptions = Array.of_list assumptions in
     let n_assumptions = Array.length assumptions in
-    let restart_budget = ref 100 in
+    let restart_count = ref 0 in
+    let geometric_budget = ref s.restart_base in
+    let restart_limit () =
+      if s.luby then s.restart_base * luby_unit !restart_count
+      else !geometric_budget
+    in
     let conflicts_here = ref 0 in
     let result = ref None in
-    while !result = None do
+    let finished = ref false in
+    while not !finished do
       let confl = propagate s in
       if confl >= 0 then begin
-        s.conflicts <- s.conflicts + 1;
+        s.st_conflicts <- s.st_conflicts + 1;
         incr conflicts_here;
         if s.n_levels = 0 then begin
           s.ok <- false;
-          result := Some Unsat
-        end else if s.n_levels <= n_assumptions then
+          result := Some Unsat;
+          finished := true
+        end
+        else if s.n_levels <= n_assumptions then begin
           (* The conflict only depends on assumptions and root clauses. *)
-          result := Some Unsat
+          result := Some Unsat;
+          finished := true
+        end
         else begin
-          let learnt, backjump = analyze s confl in
+          let n, backjump, lbd = analyze s confl in
           (* Never backjump into the middle of the assumption prefix with a
              pending asserting literal that contradicts an assumption: the
              learnt clause is still sound, and if it conflicts again we end
              up in one of the terminating branches above. *)
           cancel_until s backjump;
-          record_learnt s learnt;
-          decay s
+          record_learnt s n lbd;
+          decay s;
+          if stop () then finished := true
         end
-      end else if !conflicts_here >= !restart_budget then begin
+      end
+      else if stop () then finished := true
+      else if
+        !conflicts_here >= restart_limit ()
+        || (s.reduce_enabled && s.st_conflicts >= s.reduce_budget)
+      then begin
+        s.st_restarts <- s.st_restarts + 1;
+        incr restart_count;
+        geometric_budget := !geometric_budget * 3 / 2;
         conflicts_here := 0;
-        restart_budget := !restart_budget * 3 / 2;
-        cancel_until s 0
-      end else if s.n_levels < n_assumptions then begin
+        cancel_until s 0;
+        if s.reduce_enabled && s.st_conflicts >= s.reduce_budget then
+          reduce_db s
+      end
+      else if s.n_levels < n_assumptions then begin
         let a = assumptions.(s.n_levels) in
         match lit_value s a with
-        | -1 -> result := Some Unsat
+        | -1 ->
+          result := Some Unsat;
+          finished := true
         | 1 -> new_decision_level s (* vacuous level to keep indices aligned *)
         | _ ->
           new_decision_level s;
           enqueue s a (-1)
-      end else begin
+      end
+      else begin
         match pick_branch_var s with
         | -1 ->
-          let model = Array.init s.nvars (fun v -> s.value.(v) = 1) in
-          result := Some (Sat model)
+          let model = Array.init s.nvars (fun v -> var_value s v = 1) in
+          result := Some (Sat model);
+          finished := true
         | v ->
+          s.st_decisions <- s.st_decisions + 1;
           new_decision_level s;
           enqueue s (Lit.make v s.phase.(v)) (-1)
       end
     done;
     cancel_until s 0;
-    match !result with
-    | Some r -> r
-    | None -> assert false
+    !result
   end
+
+let solve ?assumptions s =
+  match solve_opt ?assumptions s with
+  | Some r -> r
+  | None -> assert false (* no [stop] hook was given *)
+
+(* ------------------------------------------------------------------ *)
+(* Copying (portfolio support)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* An independent snapshot of the solver, safe to drive from another domain.
+   The clone records every clause it learns (so the winner of a portfolio
+   race can hand them back, see [new_learnts]) and starts with zeroed
+   statistics (so the winner's counters are a delta the caller can fold into
+   the original with [absorb_stats]). *)
+let copy s =
+  cancel_until s 0;
+  { arena = Array.copy s.arena;
+    arena_top = s.arena_top;
+    clauses = Array.copy s.clauses;
+    n_problem = s.n_problem;
+    learnts = Array.copy s.learnts;
+    n_learnts = s.n_learnts;
+    bins = Array.map Array.copy s.bins;
+    bin_size = Array.copy s.bin_size;
+    bin_pairs = Array.copy s.bin_pairs;
+    n_bin_pairs = s.n_bin_pairs;
+    watch = Array.map Array.copy s.watch;
+    watch_size = Array.copy s.watch_size;
+    assigns = Array.copy s.assigns;
+    level = Array.copy s.level;
+    reason = Array.copy s.reason;
+    activity = Array.copy s.activity;
+    phase = Array.copy s.phase;
+    seen = Array.copy s.seen;
+    trail = Array.copy s.trail;
+    trail_size = s.trail_size;
+    trail_lim = Array.copy s.trail_lim;
+    n_levels = s.n_levels;
+    qhead = s.qhead;
+    nvars = s.nvars;
+    var_inc = s.var_inc;
+    ok = s.ok;
+    heap = Array.copy s.heap;
+    heap_index = Array.copy s.heap_index;
+    heap_size = s.heap_size;
+    bin_confl = Array.copy s.bin_confl;
+    learnt_buf = Array.copy s.learnt_buf;
+    lbd_mark = Array.copy s.lbd_mark;
+    lbd_stamp = s.lbd_stamp;
+    seed = s.seed;
+    rand_freq = s.rand_freq;
+    luby = s.luby;
+    restart_base = s.restart_base;
+    reduce_enabled = s.reduce_enabled;
+    reduce_budget = s.reduce_budget;
+    reduce_step = s.reduce_step;
+    log_enabled = true;
+    learnt_log = [];
+    st_decisions = 0;
+    st_propagations = 0;
+    st_conflicts = 0;
+    st_restarts = 0;
+    st_learned = 0;
+    st_deleted = 0;
+    st_max_lbd = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let to_dimacs ?(learned = false) s buf =
+  let units =
+    let bound = if s.n_levels = 0 then s.trail_size else s.trail_lim.(0) in
+    Array.sub s.trail 0 bound
+  in
+  let n_long = ref 0 in
+  for i = 0 to s.n_problem - 1 do
+    if not (c_deleted s s.clauses.(i)) then incr n_long
+  done;
+  let n_learned = ref 0 in
+  if learned then
+    for i = 0 to s.n_learnts - 1 do
+      if not (c_deleted s s.learnts.(i)) then incr n_learned
+    done;
+  let total =
+    Array.length units + (s.n_bin_pairs / 2) + !n_long + !n_learned
+    + (if s.ok then 0 else 1)
+  in
+  let add_lit l =
+    let v = Lit.var l + 1 in
+    Buffer.add_string buf (string_of_int (if Lit.is_pos l then v else -v));
+    Buffer.add_char buf ' '
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "c pmi_smt export: %d vars, %d clauses%s\n" s.nvars total
+       (if learned then " (learnt clauses included)" else ""));
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" s.nvars total);
+  if not s.ok then Buffer.add_string buf "0\n";
+  Array.iter
+    (fun l ->
+       add_lit l;
+       Buffer.add_string buf "0\n")
+    units;
+  let i = ref 0 in
+  while !i < s.n_bin_pairs do
+    add_lit s.bin_pairs.(!i);
+    add_lit s.bin_pairs.(!i + 1);
+    Buffer.add_string buf "0\n";
+    i := !i + 2
+  done;
+  let emit cr =
+    if not (c_deleted s cr) then begin
+      let len = c_len s cr in
+      for j = 0 to len - 1 do
+        add_lit (c_lit s cr j)
+      done;
+      Buffer.add_string buf "0\n"
+    end
+  in
+  for i = 0 to s.n_problem - 1 do
+    emit s.clauses.(i)
+  done;
+  if learned then
+    for i = 0 to s.n_learnts - 1 do
+      emit s.learnts.(i)
+    done
+
+let dimacs ?learned s =
+  let buf = Buffer.create 4096 in
+  to_dimacs ?learned s buf;
+  Buffer.contents buf
+
+(* [c_learned] is only read by the debug export path today; reference it so
+   the arena accessors stay a complete set. *)
+let _ = c_learned

@@ -1,17 +1,41 @@
-(** An incremental CDCL SAT solver.
+(** A CDCL SAT solver in the MiniSat/Glucose lineage.
 
-    The implementation follows the MiniSat architecture: two-watched-literal
-    propagation, first-UIP conflict analysis with clause learning and
-    backjumping, VSIDS-style variable activities with decay, phase saving,
-    and geometric restarts.  Clauses may be added between [solve] calls,
-    which is what the counter-example-guided port-mapping inference relies
-    on: every refuted candidate mapping becomes a new clause. *)
+    Engine features: flat int-array watcher lists with blocking literals
+    (propagation is allocation-free), dedicated binary-clause implication
+    lists, an indexed binary max-heap for VSIDS decisions, first-UIP conflict
+    analysis with recursive clause minimization, phase saving, configurable
+    Luby or geometric restarts, and LBD-scored learnt clauses with periodic
+    clause-database reduction.
+
+    The solver is incremental: clauses may be added between [solve] calls
+    (at decision level 0 — every call returns there), and [solve
+    ~assumptions] decides under a temporary assumption prefix without
+    polluting the persistent state.  Clause-database reduction only ever
+    discards learnt clauses; problem clauses — including the
+    activation-literal clauses of the incremental CEGIS encoding — are
+    permanent. *)
 
 type t
 
 type result =
   | Sat of bool array  (** model: polarity per variable *)
   | Unsat
+
+(** Cumulative search counters.  [deleted] counts learnt clauses discarded
+    by clause-database reduction; [max_lbd] is the largest glue score of any
+    clause learnt so far. *)
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+  deleted : int;
+  max_lbd : int;
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
 
 val create : unit -> t
 
@@ -21,15 +45,81 @@ val fresh_var : t -> int
 val num_vars : t -> int
 
 val add_clause : t -> Lit.t list -> unit
-(** Add a disjunction of literals.  Adding the empty clause (or a clause
-    that simplifies to it) makes the solver permanently unsatisfiable. *)
+(** Add a disjunction of literals.  Must be called at decision level 0
+    (which holds between [solve] calls).  Adding the empty clause (or a
+    clause that simplifies to it) makes the solver permanently
+    unsatisfiable. *)
 
 val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve under the given assumptions.  The model of a [Sat] answer assigns
-    every allocated variable. *)
+    every allocated variable.  [Unsat] under assumptions means
+    unsatisfiable *under those assumptions*; the solver stays usable.
+    Learnt clauses persist across calls. *)
+
+val solve_opt :
+  ?assumptions:Lit.t list -> ?stop:(unit -> bool) -> t -> result option
+(** [solve] with a cooperative cancellation hook: [stop] is polled once per
+    search-loop iteration, and [None] is returned if it fired before a
+    verdict was reached.  The solver state stays valid (clauses learnt
+    during the partial run persist). *)
 
 val okay : t -> bool
 (** [false] once the clause database is unsatisfiable at level 0. *)
 
 val num_conflicts : t -> int
 (** Total conflicts encountered so far (statistics). *)
+
+val stats : t -> stats
+
+(** {1 Portfolio support} *)
+
+val copy : t -> t
+(** An independent snapshot, safe to drive from another domain.  The clone
+    starts with zeroed statistics and records every clause it learns, so a
+    portfolio winner's progress can be folded back into the original via
+    [new_learnts]/[add_learnt] and [absorb_stats]. *)
+
+val new_learnts : t -> (int * Lit.t list) list
+(** Clauses learnt by a [copy] since it was created, oldest first, as
+    [(lbd, literals)] pairs.  Empty on solvers not created by [copy]. *)
+
+val add_learnt : t -> lbd:int -> Lit.t list -> unit
+(** Import a clause learnt elsewhere (e.g. by a portfolio member).  Like
+    [add_clause] but the clause is registered as learnt, so it stays
+    subject to clause-database reduction unless its glue is [<= 2]. *)
+
+val absorb_stats : t -> t -> unit
+(** [absorb_stats s clone] folds the clone's counters into [s]. *)
+
+(** {1 Diversification knobs} *)
+
+val set_seed : t -> int -> unit
+(** Seed the solver's internal PRNG (used by random decisions and
+    [randomize_phases]). *)
+
+val set_random_var_freq : t -> float -> unit
+(** Probability in [[0, 1]] of picking a random decision variable instead
+    of the top of the VSIDS heap.  Default [0.]. *)
+
+val set_restart : t -> [ `Luby of int | `Geometric of int ] -> unit
+(** Restart policy: Luby sequence scaled by the given unit, or the
+    geometric policy growing by 3/2 from the given base (the default is
+    [`Geometric 300]; the portfolio diversifies over both). *)
+
+val set_reduce_enabled : t -> bool -> unit
+(** Enable/disable clause-database reduction (default enabled). *)
+
+val invert_phases : t -> unit
+(** Flip every saved phase (decision polarity). *)
+
+val randomize_phases : t -> unit
+(** Randomize every saved phase using the solver PRNG. *)
+
+(** {1 Export} *)
+
+val to_dimacs : ?learned:bool -> t -> Buffer.t -> unit
+(** Append the clause set in DIMACS CNF format ([p cnf] header, 1-based
+    variables, level-0 unit clauses included).  [~learned:true] also
+    exports the live learnt clauses. *)
+
+val dimacs : ?learned:bool -> t -> string

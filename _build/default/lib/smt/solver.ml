@@ -29,3 +29,87 @@ let solve ?(assumptions = []) ?(max_rounds = 100_000) ~check sat =
     end
   in
   loop 1
+
+(* Diversification table for portfolio members.  Member 0 keeps the
+   reference configuration so a one-member portfolio behaves exactly like
+   [solve]; the others vary seed, polarity, random-decision rate, and
+   restart policy, the classic axes along which CDCL runtimes diverge. *)
+let diversify i member =
+  if i > 0 then begin
+    Sat.set_seed member (0x9E3779B9 * i);
+    match i mod 4 with
+    | 1 ->
+      Sat.invert_phases member;
+      Sat.set_restart member (`Luby 64)
+    | 2 ->
+      Sat.set_random_var_freq member 0.02;
+      Sat.set_restart member (`Geometric 100)
+    | 3 ->
+      Sat.randomize_phases member;
+      Sat.set_random_var_freq member 0.05
+    | _ ->
+      Sat.set_random_var_freq member 0.01;
+      Sat.set_restart member (`Luby 1024)
+  end
+
+(* Glue bound for importing a portfolio winner's learnt clauses back into
+   the persistent solver.  Low-LBD clauses are the ones worth keeping across
+   solves (Audemard & Simon 2009); importing everything would bloat the
+   clause database faster than reduction can prune it. *)
+let import_lbd_limit = 8
+
+let solve_portfolio ?(assumptions = []) ?(max_rounds = 100_000) ?domains
+    ~check sat =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Pmi_parallel.Pool.default_domains ()
+  in
+  if domains <= 1 then solve ~assumptions ~max_rounds ~check sat
+  else begin
+    let members = min domains 8 in
+    let rec loop round =
+      if round > max_rounds then
+        failwith "Smt.Solver.solve_portfolio: theory loop diverges"
+      else begin
+        let clones =
+          Array.init members (fun i ->
+              let c = Sat.copy sat in
+              diversify i c;
+              c)
+        in
+        let tasks =
+          Array.map
+            (fun c stop ->
+               match Sat.solve_opt ~assumptions ~stop c with
+               | Some verdict -> Some (c, verdict)
+               | None -> None)
+            clones
+        in
+        match Pmi_parallel.Pool.race ~domains:members tasks with
+        | None ->
+          (* Unreachable: a member only returns [None] once some other
+             member has already published a verdict. *)
+          failwith "Smt.Solver.solve_portfolio: no member finished"
+        | Some (winner, verdict) ->
+          (* Fold the winner's work back into the persistent encoding: its
+             low-glue learnt clauses (all implied by the clause database
+             alone, so safe to keep) and its search counters. *)
+          List.iter
+            (fun (lbd, lits) ->
+               if lbd <= import_lbd_limit then Sat.add_learnt sat ~lbd lits)
+            (Sat.new_learnts winner);
+          Sat.absorb_stats sat winner;
+          (match verdict with
+           | Sat.Unsat -> Unsat
+           | Sat.Sat model ->
+             (match check model with
+              | [] -> Sat model
+              | lemmas ->
+                assert (List.exists (falsified_by model) lemmas);
+                List.iter (Sat.add_clause sat) lemmas;
+                loop (round + 1)))
+      end
+    in
+    loop 1
+  end

@@ -1,1 +1,1 @@
-test/test_smt.ml: Alcotest Array Card Expr Fun List Lit Pmi_smt QCheck2 QCheck_alcotest Sat Solver
+test/test_smt.ml: Alcotest Array Card Expr Fun List Lit Pmi_smt Printf QCheck2 QCheck_alcotest Sat Solver String

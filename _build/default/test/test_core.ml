@@ -327,6 +327,50 @@ let test_cegis_incremental_matches_fresh () =
          (Mapping.equal_usage (Mapping.usage m_inc s) (Mapping.usage m_fresh s)))
     (Mapping.schemes m_inc)
 
+let test_cegis_portfolio_matches_sequential () =
+  (* The SAT portfolio ([domains > 1]) and clause-database reduction may
+     change which model the solver returns, but never whether inference
+     converges or what throughputs the result predicts: every configuration
+     must land on a mapping throughput-equivalent to the truth. *)
+  let s01 = Portset.of_list [ 0; 1 ] in
+  let s12 = Portset.of_list [ 1; 2 ] in
+  let s2 = Portset.singleton 2 in
+  let truth_usage = [ [ (s01, 1) ]; [ (s12, 1) ]; [ (s2, 1) ] ] in
+  let catalog = toy_catalog 3 in
+  let truth = Mapping.create ~num_ports:3 in
+  List.iteri
+    (fun i usage -> Mapping.set truth (Catalog.find catalog i) usage)
+    truth_usage;
+  let base = cegis_config 3 in
+  let measure e = Cegis.modeled_inverse base truth e in
+  let specs =
+    List.mapi
+      (fun i usage ->
+         let ports =
+           List.fold_left (fun acc (p, _) -> acc + Portset.cardinal p) 0 usage
+         in
+         (Catalog.find catalog i, Encoding.Proper ports))
+      truth_usage
+  in
+  let run label config =
+    match Cegis.infer ~config ~measure ~specs () with
+    | Cegis.Converged (m, _) -> m
+    | Cegis.No_consistent_mapping _ -> Alcotest.failf "%s: unexpected UNSAT" label
+    | Cegis.Iteration_limit _ -> Alcotest.failf "%s: iteration limit" label
+  in
+  List.iter
+    (fun (label, config) ->
+       let m = run label config in
+       check_equivalent base truth m (Mapping.schemes m))
+    [ ("sequential, reduction on",
+       { base with Cegis.domains = 1; clause_db_reduction = true });
+      ("sequential, reduction off",
+       { base with Cegis.domains = 1; clause_db_reduction = false });
+      ("portfolio, reduction on",
+       { base with Cegis.domains = 3; clause_db_reduction = true });
+      ("portfolio, reduction off",
+       { base with Cegis.domains = 3; clause_db_reduction = false }) ]
+
 let test_cegis_unsat_on_anomaly () =
   (* Measurements that violate the port-mapping model (the §4.3 imul
      anomaly: 4 four-port adds plus a one-port imul at 1.5 cycles) must
@@ -622,6 +666,8 @@ let () =
          Alcotest.test_case "three instructions" `Quick test_cegis_three_instructions;
          Alcotest.test_case "incremental matches fresh encodings" `Quick
            test_cegis_incremental_matches_fresh;
+         Alcotest.test_case "portfolio/reduction preserve convergence" `Slow
+           test_cegis_portfolio_matches_sequential;
          Alcotest.test_case "UNSAT on the imul anomaly (§4.3)" `Quick
            test_cegis_unsat_on_anomaly;
          QCheck_alcotest.to_alcotest prop_cegis_sound ]);

@@ -171,22 +171,271 @@ let prop_sat_3sat_stress =
            clauses
        | Sat.Unsat -> true)
 
-let test_sat_pigeonhole_6_5 () =
-  (* A harder UNSAT instance exercising clause learning and restarts. *)
-  let s = Sat.create () in
-  let v = Array.init 6 (fun _ -> Array.init 5 (fun _ -> Sat.fresh_var s)) in
-  for p = 0 to 5 do
+let pigeonhole s ~pigeons ~holes =
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.fresh_var s))
+  in
+  for p = 0 to pigeons - 1 do
     Sat.add_clause s (Array.to_list (Array.map Lit.pos v.(p)))
   done;
-  for h = 0 to 4 do
-    for p1 = 0 to 5 do
-      for p2 = p1 + 1 to 5 do
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
         Sat.add_clause s [ Lit.neg_of_var v.(p1).(h); Lit.neg_of_var v.(p2).(h) ]
       done
     done
-  done;
+  done
+
+let test_sat_pigeonhole_6_5 () =
+  (* A harder UNSAT instance exercising clause learning and restarts. *)
+  let s = Sat.create () in
+  pigeonhole s ~pigeons:6 ~holes:5;
   Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s));
   Alcotest.(check bool) "learned something" true (Sat.num_conflicts s > 0)
+
+let test_sat_pigeonhole_family () =
+  (* n+1 pigeons never fit n holes; n pigeons always do.  The UNSAT side
+     scales exponentially for resolution, so this walks the engine through
+     progressively heavier clause learning. *)
+  for holes = 2 to 6 do
+    let u = Sat.create () in
+    pigeonhole u ~pigeons:(holes + 1) ~holes;
+    Alcotest.(check bool)
+      (Printf.sprintf "php %d/%d unsat" (holes + 1) holes)
+      false (is_sat (Sat.solve u));
+    let f = Sat.create () in
+    pigeonhole f ~pigeons:holes ~holes;
+    Alcotest.(check bool)
+      (Printf.sprintf "php %d/%d sat" holes holes)
+      true (is_sat (Sat.solve f))
+  done
+
+let test_sat_reduction_parity_pigeonhole () =
+  (* php 8/7 crosses the first clause-database-reduction budget, so learnt
+     clauses really are deleted; the verdict must not change. *)
+  let run reduce =
+    let s = Sat.create () in
+    Sat.set_reduce_enabled s reduce;
+    pigeonhole s ~pigeons:8 ~holes:7;
+    let verdict = is_sat (Sat.solve s) in
+    (verdict, Sat.stats s)
+  in
+  let verdict_on, stats_on = run true in
+  let verdict_off, stats_off = run false in
+  Alcotest.(check bool) "unsat with reduction" false verdict_on;
+  Alcotest.(check bool) "unsat without reduction" false verdict_off;
+  Alcotest.(check bool) "reduction fired" true (stats_on.Sat.deleted > 0);
+  Alcotest.(check int) "no deletions when disabled" 0 stats_off.Sat.deleted
+
+let test_sat_stats () =
+  let s = Sat.create () in
+  pigeonhole s ~pigeons:5 ~holes:4;
+  ignore (Sat.solve s);
+  let st = Sat.stats s in
+  Alcotest.(check bool) "decisions" true (st.Sat.decisions > 0);
+  Alcotest.(check bool) "propagations" true (st.Sat.propagations > 0);
+  Alcotest.(check bool) "conflicts" true (st.Sat.conflicts > 0);
+  Alcotest.(check bool) "learned" true (st.Sat.learned > 0);
+  Alcotest.(check bool) "glue recorded" true (st.Sat.max_lbd > 0);
+  Alcotest.(check int) "num_conflicts agrees" st.Sat.conflicts
+    (Sat.num_conflicts s);
+  Alcotest.(check bool) "zero is neutral" true
+    (Sat.add_stats Sat.zero_stats st = st);
+  let doubled = Sat.add_stats st st in
+  Alcotest.(check int) "sums conflicts" (2 * st.Sat.conflicts)
+    doubled.Sat.conflicts;
+  Alcotest.(check int) "maxes glue" st.Sat.max_lbd doubled.Sat.max_lbd
+
+(* Reference DPLL (unit propagation + splitting) for differential fuzzing
+   on instances too large to enumerate. *)
+
+let dpll_assign l clauses =
+  let neg = Lit.negate l in
+  List.filter_map
+    (fun c ->
+       if List.mem l c then None
+       else Some (List.filter (fun l' -> l' <> neg) c))
+    clauses
+
+let rec dpll clauses =
+  if List.exists (( = ) []) clauses then false
+  else
+    match List.find_opt (fun c -> List.compare_length_with c 1 = 0) clauses with
+    | Some [ l ] -> dpll (dpll_assign l clauses)
+    | Some _ -> assert false
+    | None ->
+      (match clauses with
+       | [] -> true
+       | (l :: _) :: _ ->
+         dpll (dpll_assign l clauses) || dpll (dpll_assign (Lit.negate l) clauses)
+       | [] :: _ -> assert false)
+
+let prop_sat_matches_dpll =
+  let gen =
+    let open QCheck2.Gen in
+    let n = 20 in
+    let lit = map2 (fun v pos -> Lit.make v pos) (int_range 0 (n - 1)) bool in
+    let clause = map (fun (a, b, c) -> [ a; b; c ]) (triple lit lit lit) in
+    (* ~4.3 clauses per variable sits at the random-3-SAT phase transition,
+       where both verdicts occur and the search is hardest. *)
+    map (fun clauses -> (n, clauses)) (list_repeat 86 clause)
+  in
+  QCheck2.Test.make ~name:"CDCL matches reference DPLL on random 3-SAT"
+    ~count:40 gen
+    (fun (n, clauses) ->
+       let s = Sat.create () in
+       for _ = 1 to n do
+         ignore (Sat.fresh_var s)
+       done;
+       List.iter (Sat.add_clause s) clauses;
+       let expected = dpll clauses in
+       match Sat.solve s with
+       | Sat.Sat model ->
+         expected
+         && List.for_all
+              (List.exists (fun l ->
+                   if Lit.is_pos l then model.(Lit.var l)
+                   else not model.(Lit.var l)))
+              clauses
+       | Sat.Unsat -> not expected)
+
+(* Property: incremental sequences of add_clause / solve ~assumptions give
+   the same verdicts whether clause-database reduction is on or off, and
+   whether solving goes through [Sat.solve] or the domain-parallel
+   portfolio. *)
+
+let script_gen =
+  let open QCheck2.Gen in
+  int_range 6 12 >>= fun n ->
+  let lit = map2 (fun v pos -> Lit.make v pos) (int_range 0 (n - 1)) bool in
+  let clause = list_size (int_range 1 3) lit in
+  let step =
+    pair (list_size (int_range 0 6) clause) (list_size (int_range 0 2) lit)
+  in
+  map (fun steps -> (n, steps)) (list_size (int_range 2 5) step)
+
+let prop_reduction_portfolio_parity =
+  QCheck2.Test.make
+    ~name:"reduction/portfolio never change incremental verdicts" ~count:40
+    script_gen
+    (fun (n, steps) ->
+       let mk reduce =
+         let s = Sat.create () in
+         Sat.set_reduce_enabled s reduce;
+         for _ = 1 to n do
+           ignore (Sat.fresh_var s)
+         done;
+         s
+       in
+       let with_reduction = mk true in
+       let without_reduction = mk false in
+       let via_portfolio = mk true in
+       let all_clauses = ref [] in
+       List.for_all
+         (fun (clauses, assumptions) ->
+            List.iter
+              (fun c ->
+                 all_clauses := c :: !all_clauses;
+                 Sat.add_clause with_reduction c;
+                 Sat.add_clause without_reduction c;
+                 Sat.add_clause via_portfolio c)
+              clauses;
+            let va = is_sat (Sat.solve ~assumptions with_reduction) in
+            let vb = is_sat (Sat.solve ~assumptions without_reduction) in
+            let vc =
+              match
+                Solver.solve_portfolio ~assumptions ~domains:3
+                  ~check:(fun _ -> [])
+                  via_portfolio
+              with
+              | Solver.Sat model ->
+                (* A portfolio model must satisfy every clause added so
+                   far (assumptions aside, which only constrain further). *)
+                List.for_all
+                  (List.exists (fun l ->
+                       if Lit.is_pos l then model.(Lit.var l)
+                       else not model.(Lit.var l)))
+                  !all_clauses
+                || QCheck2.Test.fail_report "portfolio model violates a clause"
+              | Solver.Unsat -> false
+            in
+            va = vb && vb = vc)
+         steps)
+
+let test_portfolio_pigeonhole () =
+  (* The portfolio must agree with the sequential solver on an UNSAT
+     instance hard enough that members genuinely race. *)
+  let s = Sat.create () in
+  pigeonhole s ~pigeons:7 ~holes:6;
+  match
+    Solver.solve_portfolio ~domains:4 ~check:(fun _ -> []) s
+  with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "php 7/6 is unsat"
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_dimacs text =
+  let header = ref None in
+  let clauses = ref [] in
+  List.iter
+    (fun line ->
+       let line = String.trim line in
+       if line = "" || line.[0] = 'c' then ()
+       else if line.[0] = 'p' then
+         match List.filter (( <> ) "") (String.split_on_char ' ' line) with
+         | [ "p"; "cnf"; v; c ] ->
+           header := Some (int_of_string v, int_of_string c)
+         | _ -> Alcotest.failf "bad DIMACS header: %s" line
+       else
+         let ints =
+           List.map int_of_string
+             (List.filter (( <> ) "") (String.split_on_char ' ' line))
+         in
+         match List.rev ints with
+         | 0 :: rev_lits -> clauses := List.rev rev_lits :: !clauses
+         | _ -> Alcotest.failf "clause not 0-terminated: %s" line)
+    (String.split_on_char '\n' text);
+  match !header with
+  | None -> Alcotest.fail "no DIMACS header"
+  | Some (v, c) -> (v, c, List.rev !clauses)
+
+let test_dimacs_export () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  let b = Sat.fresh_var s in
+  let c = Sat.fresh_var s in
+  let d = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos a; Lit.neg_of_var b ];
+  Sat.add_clause s [ Lit.pos b; Lit.pos c; Lit.neg_of_var d ];
+  Sat.add_clause s [ Lit.neg_of_var a ];
+  let num_vars, num_clauses, clauses = parse_dimacs (Sat.dimacs s) in
+  Alcotest.(check int) "header vars" (Sat.num_vars s) num_vars;
+  Alcotest.(check int) "header clause count" (List.length clauses) num_clauses;
+  List.iter
+    (List.iter (fun l ->
+         Alcotest.(check bool) "lit in range" true
+           (l <> 0 && abs l <= num_vars)))
+    clauses;
+  (* The export is equisatisfiable with the live solver: check via the
+     reference DPLL on the re-parsed clauses. *)
+  let as_lits = List.map (List.map (fun l -> Lit.make (abs l - 1) (l > 0))) in
+  Alcotest.(check bool) "same verdict" (is_sat (Sat.solve s))
+    (dpll (as_lits clauses))
+
+let test_dimacs_unsat_export () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos a ];
+  Sat.add_clause s [ Lit.neg_of_var a ];
+  Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s));
+  let _, num_clauses, clauses = parse_dimacs (Sat.dimacs s) in
+  Alcotest.(check int) "header count" (List.length clauses) num_clauses;
+  (* A dead solver's export must be trivially refutable. *)
+  Alcotest.(check bool) "contains the empty clause" true
+    (List.mem [] clauses)
 
 (* ------------------------------------------------------------------ *)
 (* Cardinality constraints                                             *)
@@ -249,6 +498,39 @@ let test_card_edge_cases () =
   Card.at_least s3 [ Lit.pos c ] 2;
   Alcotest.(check bool) "impossible at_least" false
     (match Sat.solve s3 with Sat.Sat _ -> true | Sat.Unsat -> false)
+
+let test_card_exactly_shares_registers () =
+  (* [exactly] builds one shared Sinz counter chain: (n-1)·k auxiliary
+     registers, not a separate chain per bound. *)
+  let s = Sat.create () in
+  let vars = List.init 6 (fun _ -> Sat.fresh_var s) in
+  Card.exactly s (List.map Lit.pos vars) 2;
+  Alcotest.(check int) "aux registers" (6 + (5 * 2)) (Sat.num_vars s)
+
+let popcount mask =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 mask
+
+let test_card_exactly_exhaustive () =
+  (* Soundness and completeness in one sweep: under every full assignment
+     of the base variables (forced via assumptions), the encoding is
+     satisfiable iff exactly k of them are true. *)
+  for n = 1 to 5 do
+    for k = 0 to n do
+      let s = Sat.create () in
+      let vars = List.init n (fun _ -> Sat.fresh_var s) in
+      Card.exactly s (List.map Lit.pos vars) k;
+      for mask = 0 to (1 lsl n) - 1 do
+        let assumptions =
+          List.mapi (fun i v -> Lit.make v (mask land (1 lsl i) <> 0)) vars
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d k=%d mask=%d" n k mask)
+          (popcount mask = k)
+          (is_sat (Sat.solve ~assumptions s))
+      done
+    done
+  done
 
 let prop_card_exactly_counts =
   QCheck2.Test.make ~name:"exactly-k models have k true vars" ~count:100
@@ -369,13 +651,28 @@ let () =
          Alcotest.test_case "pigeonhole 3/2" `Quick test_sat_pigeonhole_3_2;
          Alcotest.test_case "assumptions" `Quick test_sat_assumptions;
          Alcotest.test_case "incremental" `Quick test_sat_incremental;
-         Alcotest.test_case "pigeonhole 6/5" `Slow test_sat_pigeonhole_6_5 ]
-       @ qsuite [ prop_sat_matches_brute_force; prop_sat_3sat_stress ]);
+         Alcotest.test_case "pigeonhole 6/5" `Slow test_sat_pigeonhole_6_5;
+         Alcotest.test_case "pigeonhole family" `Slow test_sat_pigeonhole_family;
+         Alcotest.test_case "reduction parity on pigeonhole 8/7" `Slow
+           test_sat_reduction_parity_pigeonhole;
+         Alcotest.test_case "solver statistics" `Quick test_sat_stats;
+         Alcotest.test_case "portfolio on pigeonhole 7/6" `Slow
+           test_portfolio_pigeonhole ]
+       @ qsuite
+           [ prop_sat_matches_brute_force; prop_sat_3sat_stress;
+             prop_sat_matches_dpll; prop_reduction_portfolio_parity ]);
+      ("dimacs",
+       [ Alcotest.test_case "export round-trips" `Quick test_dimacs_export;
+         Alcotest.test_case "unsat export" `Quick test_dimacs_unsat_export ]);
       ("card",
        [ Alcotest.test_case "at_most" `Quick test_card_at_most;
          Alcotest.test_case "at_least" `Quick test_card_at_least;
          Alcotest.test_case "exactly" `Quick test_card_exactly;
-         Alcotest.test_case "edge cases" `Quick test_card_edge_cases ]
+         Alcotest.test_case "edge cases" `Quick test_card_edge_cases;
+         Alcotest.test_case "shared registers" `Quick
+           test_card_exactly_shares_registers;
+         Alcotest.test_case "exactly is exact (exhaustive)" `Slow
+           test_card_exactly_exhaustive ]
        @ qsuite [ prop_card_exactly_counts ]);
       ("expr",
        [ Alcotest.test_case "smart constructors" `Quick test_expr_smart_constructors ]
