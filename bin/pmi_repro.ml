@@ -25,13 +25,18 @@ let make_harness ~reduced ~seed =
    run; [None] leaves the CEGIS solvers silent. *)
 let cnf_prefix = ref None
 
+(* [--certify]: have every CEGIS verdict carry an independently checked
+   certificate (DRAT proof for UNSAT, CNF + theory replay for SAT). *)
+let certify = ref false
+
 let run_pipeline ~reduced ~seed =
   let harness = make_harness ~reduced ~seed in
   let config =
     { Pipeline.default_config with
       Pipeline.cegis =
         { Pipeline.default_config.Pipeline.cegis with
-          Pmi_core.Cegis.dump_cnf = !cnf_prefix } }
+          Pmi_core.Cegis.dump_cnf = !cnf_prefix;
+          Pmi_core.Cegis.certify = !certify } }
   in
   let t0 = Unix.gettimeofday () in
   let result = Pipeline.run ~config harness in
@@ -321,6 +326,50 @@ let explain_scheme insns reduced seed =
     insns
 
 (* ------------------------------------------------------------------ *)
+(* Lint: the static sanity pass over everything the repo ships          *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = Pmi_analysis.Lint
+
+let lint_files files json reduced _seed =
+  let catalog =
+    if reduced > 0 then Catalog.reduced ~per_bucket:reduced ()
+    else Catalog.zen_plus ()
+  in
+  let lint_file path =
+    if not (Sys.file_exists path) then
+      [ { Lint.rule = "mapping-file-missing"; severity = Lint.Error;
+          subject = path; message = "no such file" } ]
+    else begin
+      let ic = open_in path in
+      let result =
+        Pmi_portmap.Mapping_io.read
+          ~resolve:(Pmi_portmap.Mapping_io.resolver catalog) ic
+      in
+      close_in ic;
+      match result with
+      | Ok m -> Lint.lint_mapping ~subject:("mapping " ^ path) m
+      | Error e ->
+        [ { Lint.rule = "mapping-parse-error"; severity = Lint.Error;
+            subject = path;
+            message =
+              Printf.sprintf "line %d: %s" e.Pmi_portmap.Mapping_io.line
+                e.Pmi_portmap.Mapping_io.message } ]
+    end
+  in
+  let diags = Lint.builtin ~catalog () @ List.concat_map lint_file files in
+  List.iter
+    (fun d -> print_endline (if json then Lint.to_json d else Lint.to_string d))
+    diags;
+  let errors = List.length (Lint.errors diags) in
+  let warnings = List.length diags - errors in
+  Format.eprintf "lint: %d error%s, %d warning%s@." errors
+    (if errors = 1 then "" else "s")
+    warnings
+    (if warnings = 1 then "" else "s");
+  if errors > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Everything                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -357,14 +406,23 @@ let dump_cnf =
              external SAT solver." in
   Arg.(value & opt (some string) None & info [ "dump-cnf" ] ~docv:"PREFIX" ~doc)
 
-let with_logs f reduced seed verbose dump_cnf =
+let certify_flag =
+  let doc = "Trust-but-verify: log DRAT proof traces in every CEGIS solver \
+             and have an independent checker certify each UNSAT verdict and \
+             re-validate each SAT model against the CNF and the exact \
+             throughput oracle.  A certificate failure aborts the run." in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let with_logs f reduced seed verbose dump_cnf certify_opt =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   cnf_prefix := dump_cnf;
+  certify := certify_opt;
   f reduced seed
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf)
+    Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf
+          $ certify_flag)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -387,9 +445,11 @@ let () =
              Cmd.v
                (Cmd.info "analyze"
                   ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
-               Term.(const (fun insns reduced seed verbose dump_cnf ->
-                   with_logs (analyze_block insns) reduced seed verbose dump_cnf)
-                     $ insns $ reduced $ seed $ verbose $ dump_cnf));
+               Term.(const (fun insns reduced seed verbose dump_cnf certify ->
+                   with_logs (analyze_block insns) reduced seed verbose
+                     dump_cnf certify)
+                     $ insns $ reduced $ seed $ verbose $ dump_cnf
+                     $ certify_flag));
             (let insns =
                let doc = "Instruction scheme (name or unique prefix); repeatable." in
                Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
@@ -398,6 +458,29 @@ let () =
                (Cmd.info "explain"
                   ~doc:"Show the explanatory microbenchmarks behind a scheme's \
                         inferred port usage")
-               Term.(const (fun insns reduced seed verbose dump_cnf ->
-                   with_logs (explain_scheme insns) reduced seed verbose dump_cnf)
-                     $ insns $ reduced $ seed $ verbose $ dump_cnf)) ]))
+               Term.(const (fun insns reduced seed verbose dump_cnf certify ->
+                   with_logs (explain_scheme insns) reduced seed verbose
+                     dump_cnf certify)
+                     $ insns $ reduced $ seed $ verbose $ dump_cnf
+                     $ certify_flag));
+            (let files =
+               let doc = "Port-mapping file(s) in the export format, linted \
+                          in addition to the built-in profiles, catalog and \
+                          ground truth; repeatable." in
+               Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+             in
+             let json =
+               let doc = "Emit one JSON object per diagnostic instead of \
+                          human-readable text." in
+               Arg.(value & flag & info [ "json" ] ~doc)
+             in
+             Cmd.v
+               (Cmd.info "lint"
+                  ~doc:"Lint the built-in machine profiles, catalog and \
+                        ground-truth mappings (plus optional mapping files); \
+                        exits non-zero on any error-severity diagnostic")
+               Term.(const (fun files json reduced seed verbose dump_cnf certify ->
+                   with_logs (lint_files files json) reduced seed verbose
+                     dump_cnf certify)
+                     $ files $ json $ reduced $ seed $ verbose $ dump_cnf
+                     $ certify_flag)) ]))

@@ -1,0 +1,313 @@
+(* Forward RUP/DRAT checking over [Pmi_smt.Sat.proof_step] traces.
+
+   This is a from-scratch unit propagator: clauses live in their own store,
+   watches are per-literal lists of clause indices, and the root-level
+   assignment is maintained persistently so each RUP query only pays for its
+   own assumptions.  Literals use the shared int encoding ([2*v] positive,
+   [2*v + 1] negative) and are manipulated directly.
+
+   Deletion bookkeeping follows drat-trim: clauses are located by their
+   canonical literal set; unmatched deletions and deletions of clauses that
+   currently justify a root-level unit are ignored.  Both relaxations only
+   enlarge the database the RUP queries run against, so they never let an
+   invalid derivation through. *)
+
+type error = {
+  step : int;
+  reason : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "step %d: %s" e.step e.reason
+
+type clause = {
+  lits : int array;          (* watched literals kept in slots 0 and 1 *)
+  mutable alive : bool;
+}
+
+type state = {
+  mutable nvars : int;
+  mutable assign : int array;      (* per literal: 1 true, -1 false, 0 unset *)
+  mutable trail : int array;
+  mutable trail_size : int;
+  mutable reason_of : int array;   (* per var: clause index or -1 *)
+  mutable watches : int list array;  (* per literal: clauses watching it *)
+  mutable clauses : clause array;
+  mutable n_clauses : int;
+  index : (int list, int list) Hashtbl.t;  (* canonical lits -> indices *)
+  mutable root_unsat : bool;
+}
+
+let create () =
+  { nvars = 0;
+    assign = Array.make 16 0;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    reason_of = Array.make 8 (-1);
+    watches = Array.make 16 [];
+    clauses = Array.make 64 { lits = [||]; alive = false };
+    n_clauses = 0;
+    index = Hashtbl.create 256;
+    root_unsat = false }
+
+let grow arr len fill =
+  if Array.length arr >= len then arr
+  else begin
+    let out = Array.make (max len (2 * Array.length arr)) fill in
+    Array.blit arr 0 out 0 (Array.length arr);
+    out
+  end
+
+let ensure_var st v =
+  if v >= st.nvars then begin
+    st.nvars <- v + 1;
+    st.assign <- grow st.assign (2 * st.nvars) 0;
+    st.trail <- grow st.trail st.nvars 0;
+    st.reason_of <- grow st.reason_of st.nvars (-1);
+    st.watches <- grow st.watches (2 * st.nvars) []
+  end
+
+let ensure_lits st lits = List.iter (fun l -> ensure_var st (l lsr 1)) lits
+
+let canonical lits = List.sort_uniq compare lits
+
+let tautology canon =
+  let rec go = function
+    | a :: (b :: _ as rest) -> (a lxor b = 1 && a lsr 1 = b lsr 1) || go rest
+    | _ -> false
+  in
+  go canon
+
+let value st l = st.assign.(l)
+
+let assign_true st l reason =
+  st.assign.(l) <- 1;
+  st.assign.(l lxor 1) <- -1;
+  st.reason_of.(l lsr 1) <- reason;
+  st.trail.(st.trail_size) <- l;
+  st.trail_size <- st.trail_size + 1
+
+(* Unit propagation from trail position [from]; true on conflict.  Watch
+   moves are never undone — a stale watch is only ever re-examined, which is
+   the usual two-watched-literal discipline. *)
+let propagate st from =
+  let conflict = ref false in
+  let qhead = ref from in
+  while (not !conflict) && !qhead < st.trail_size do
+    let p = st.trail.(!qhead) in
+    incr qhead;
+    let fl = p lxor 1 in
+    let pending = st.watches.(fl) in
+    st.watches.(fl) <- [];
+    let rec go = function
+      | [] -> ()
+      | ci :: rest ->
+        let c = st.clauses.(ci) in
+        if not c.alive then go rest
+        else begin
+          let lits = c.lits in
+          if lits.(0) = fl then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- fl
+          end;
+          if value st lits.(0) = 1 then begin
+            st.watches.(fl) <- ci :: st.watches.(fl);
+            go rest
+          end
+          else begin
+            let n = Array.length lits in
+            let k = ref 2 in
+            while !k < n && value st lits.(!k) = -1 do incr k done;
+            if !k < n then begin
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- fl;
+              st.watches.(lits.(1)) <- ci :: st.watches.(lits.(1));
+              go rest
+            end
+            else begin
+              st.watches.(fl) <- ci :: st.watches.(fl);
+              if value st lits.(0) = -1 then begin
+                conflict := true;
+                List.iter
+                  (fun cj -> st.watches.(fl) <- cj :: st.watches.(fl))
+                  rest
+              end
+              else begin
+                assign_true st lits.(0) ci;
+                go rest
+              end
+            end
+          end
+        end
+    in
+    go pending
+  done;
+  !conflict
+
+let backtrack st mark =
+  for i = st.trail_size - 1 downto mark do
+    let l = st.trail.(i) in
+    st.assign.(l) <- 0;
+    st.assign.(l lxor 1) <- 0;
+    st.reason_of.(l lsr 1) <- -1
+  done;
+  st.trail_size <- mark
+
+(* Does assuming the negation of every literal of [lits] propagate to a
+   conflict?  Leaves the root state untouched. *)
+let rup st lits =
+  st.root_unsat
+  || begin
+    let mark = st.trail_size in
+    let conflict = ref false in
+    (try
+       List.iter
+         (fun l ->
+            match value st l with
+            | 1 ->
+              (* The root already asserts [l]; assuming [¬l] is an
+                 immediate conflict. *)
+              conflict := true;
+              raise_notrace Exit
+            | -1 -> ()
+            | _ -> assign_true st (l lxor 1) (-1))
+         lits
+     with Exit -> ());
+    let result = !conflict || propagate st mark in
+    backtrack st mark;
+    result
+  end
+
+let push_clause st c =
+  let ci = st.n_clauses in
+  if ci >= Array.length st.clauses then begin
+    let out = Array.make (2 * Array.length st.clauses) c in
+    Array.blit st.clauses 0 out 0 ci;
+    st.clauses <- out
+  end;
+  st.clauses.(ci) <- c;
+  st.n_clauses <- ci + 1;
+  ci
+
+(* Install a clause permanently: register it for deletion lookup, attach
+   watches on two non-false literals when possible, and propagate any root
+   consequence to the fixpoint. *)
+let add_clause st lits =
+  ensure_lits st lits;
+  let canon = canonical lits in
+  let arr = Array.of_list canon in
+  let ci = push_clause st { lits = arr; alive = true } in
+  Hashtbl.replace st.index canon
+    (ci :: (try Hashtbl.find st.index canon with Not_found -> []));
+  if not (st.root_unsat || tautology canon) then begin
+    let n = Array.length arr in
+    (* Move up to two non-false literals into the watch slots. *)
+    let found = ref 0 in
+    (try
+       for k = 0 to n - 1 do
+         if value st arr.(k) >= 0 then begin
+           let tmp = arr.(!found) in
+           arr.(!found) <- arr.(k);
+           arr.(k) <- tmp;
+           incr found;
+           if !found = 2 then raise_notrace Exit
+         end
+       done
+     with Exit -> ());
+    if n >= 2 then begin
+      st.watches.(arr.(0)) <- ci :: st.watches.(arr.(0));
+      st.watches.(arr.(1)) <- ci :: st.watches.(arr.(1))
+    end;
+    match !found with
+    | 0 -> st.root_unsat <- true  (* empty or root-falsified *)
+    | 1 ->
+      if value st arr.(0) = 0 then begin
+        let mark = st.trail_size in
+        assign_true st arr.(0) ci;
+        if propagate st mark then st.root_unsat <- true
+      end
+    | _ -> ()
+  end
+
+(* A clause justifying a root-level unit must survive deletion (drat-trim's
+   unit-deletion relaxation); the root trail is small, so a scan is fine. *)
+let is_root_reason st ci =
+  let found = ref false in
+  for i = 0 to st.trail_size - 1 do
+    if st.reason_of.(st.trail.(i) lsr 1) = ci then found := true
+  done;
+  !found
+
+let delete_clause st lits =
+  let canon = canonical lits in
+  match Hashtbl.find_opt st.index canon with
+  | None | Some [] -> ()
+  | Some indices ->
+    let rec pick acc = function
+      | [] -> ()
+      | ci :: rest ->
+        if st.clauses.(ci).alive && not (is_root_reason st ci) then begin
+          st.clauses.(ci).alive <- false;
+          Hashtbl.replace st.index canon (List.rev_append acc rest)
+        end
+        else pick (ci :: acc) rest
+    in
+    pick [] indices
+
+let lits_to_string lits =
+  "{"
+  ^ String.concat ", " (List.map Pmi_smt.Lit.to_string lits)
+  ^ "}"
+
+let check ?(goal = []) steps =
+  let st = create () in
+  ensure_lits st goal;
+  let rec go i = function
+    | [] ->
+      if rup st goal then Ok ()
+      else
+        Error
+          { step = i;
+            reason =
+              Printf.sprintf "goal clause %s is not RUP over the final \
+                              database" (lits_to_string goal) }
+    | step :: rest ->
+      (match step with
+       | Pmi_smt.Sat.Input lits ->
+         add_clause st lits;
+         go (i + 1) rest
+       | Pmi_smt.Sat.Derive lits ->
+         ensure_lits st lits;
+         if rup st lits then begin
+           add_clause st lits;
+           go (i + 1) rest
+         end
+         else
+           Error
+             { step = i;
+               reason =
+                 Printf.sprintf "derived clause %s is not RUP"
+                   (lits_to_string lits) }
+       | Pmi_smt.Sat.Delete lits ->
+         delete_clause st lits;
+         go (i + 1) rest)
+  in
+  go 0 steps
+
+let validate_model ~model steps =
+  let sat_lit l =
+    let v = l lsr 1 in
+    v < Array.length model && (if l land 1 = 0 then model.(v) else not model.(v))
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | Pmi_smt.Sat.Input lits :: rest ->
+      if List.exists sat_lit lits then go (i + 1) rest
+      else
+        Error
+          { step = i;
+            reason =
+              Printf.sprintf "model falsifies input clause %s"
+                (lits_to_string lits) }
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 steps

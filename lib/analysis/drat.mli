@@ -1,0 +1,46 @@
+(** Independent RUP/DRAT certificate checker.
+
+    Verifies the proof traces emitted by [Pmi_smt.Sat] (see
+    [Sat.set_proof_logging]) without sharing any propagation, clause
+    storage, or search code with the solver: only the literal encoding
+    ([2*v] positive, [2*v+1] negative) and the trace type are common, and
+    those are the data format being checked, not the machinery under test.
+
+    Checking is forward: the database starts empty, [Input] steps are
+    axioms, each [Derive] step must have the reverse-unit-propagation (RUP)
+    property — assuming the negation of every literal of the clause and
+    unit-propagating over the current database must yield a conflict — and
+    [Delete] steps remove one matching clause.  Following drat-trim's
+    standard relaxation, a deletion is ignored when no clause matches or
+    when the clause currently justifies a root-level unit; both only ever
+    leave the database {e larger}, which keeps the check sound (RUP over a
+    superset is required, never granted for free).
+
+    An unconditional UNSAT verdict is certified by checking the trace with
+    the empty [goal] clause; an UNSAT-under-assumptions verdict by the goal
+    clause made of the negated assumptions (the derived clause [¬a1 ∨ … ∨
+    ¬an]). *)
+
+type error = {
+  step : int;
+  (** 0-based index of the offending step, or the number of steps when the
+      final [goal] check failed. *)
+  reason : string;
+}
+
+val check :
+  ?goal:Pmi_smt.Lit.t list ->
+  Pmi_smt.Sat.proof_step list ->
+  (unit, error) result
+(** [check ~goal steps] replays the trace and finally requires [goal] to be
+    RUP with respect to the surviving database.  [goal] defaults to the
+    empty clause (unconditional UNSAT). *)
+
+val validate_model :
+  model:bool array -> Pmi_smt.Sat.proof_step list -> (unit, error) result
+(** [validate_model ~model steps] checks that the model satisfies every
+    [Input] clause of the trace — the problem CNF, the compiled cardinality
+    chains, and every theory lemma, since all enter the solver through
+    [Sat.add_clause].  Variables outside the model are treated as false. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -24,7 +24,10 @@ type config = {
   domains : int;
   clause_db_reduction : bool;
   dump_cnf : string option;
+  certify : bool;
 }
+
+exception Certification_failure of string
 
 let default_config =
   { num_ports = 10;
@@ -38,7 +41,8 @@ let default_config =
     memoized_oracle = true;
     domains = 1;
     clause_db_reduction = true;
-    dump_cnf = None }
+    dump_cnf = None;
+    certify = false }
 
 type observation = {
   experiment : Experiment.t;
@@ -104,7 +108,8 @@ let theory_check config encoding observations pool model =
 let fresh_encoding config specs pool =
   let encoding =
     Encoding.create ~num_ports:config.num_ports
-      ~symmetry_breaking:config.symmetry_breaking specs
+      ~symmetry_breaking:config.symmetry_breaking ~certify:config.certify
+      specs
   in
   Pmi_smt.Sat.set_reduce_enabled (Encoding.sat encoding)
     config.clause_db_reduction;
@@ -118,9 +123,82 @@ let solve_sub config ?assumptions ~check sat =
     Solver.solve_portfolio ?assumptions ~domains:config.domains ~check sat
   else Solver.solve ?assumptions ~check sat
 
+(* ------------------------------------------------------------------ *)
+(* Trust-but-verify layer                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* An UNSAT verdict under assumptions [a1; …; an] is certified by checking
+   the DRAT trace against the goal clause [¬a1 ∨ … ∨ ¬an] (the empty clause
+   when there are no assumptions): the independent checker replays every
+   derivation and finally requires the goal itself to be RUP. *)
+let certify_unsat config ?(assumptions = []) sat =
+  if config.certify then begin
+    if not (Pmi_smt.Sat.proof_logging sat) then
+      raise
+        (Certification_failure
+           "certify is on but the solver carries no proof trace");
+    let goal = List.map Pmi_smt.Lit.negate assumptions in
+    match Pmi_analysis.Drat.check ~goal (Pmi_smt.Sat.proof sat) with
+    | Ok () ->
+      Log.debug (fun m ->
+          m "UNSAT certificate accepted (%d proof steps)"
+            (Pmi_smt.Sat.proof_length sat))
+    | Error e ->
+      raise
+        (Certification_failure
+           (Format.asprintf "UNSAT certificate rejected: %a"
+              Pmi_analysis.Drat.pp_error e))
+  end
+
+(* A SAT verdict is certified against the axioms, not the solver: the model
+   must satisfy every input clause of the trace (problem CNF, cardinality
+   chains, theory lemmas), and the decoded mapping must explain every
+   observation under the naive exact-rational oracle — deliberately not the
+   memoized fast path the search itself uses. *)
+let certify_sat config encoding observations model =
+  if config.certify then begin
+    let sat = Encoding.sat encoding in
+    (match Pmi_analysis.Drat.validate_model ~model (Pmi_smt.Sat.proof sat) with
+     | Ok () -> ()
+     | Error e ->
+       raise
+         (Certification_failure
+            (Format.asprintf "SAT model rejected: %a"
+               Pmi_analysis.Drat.pp_error e)));
+    let mapping = Encoding.decode encoding model in
+    Vec.iter
+      (fun obs ->
+         let modeled = modeled_inverse config mapping obs.experiment in
+         if
+           not
+             (Pmi_measure.Harness.Compare.cpi_equal ~epsilon:config.epsilon
+                ~length:(Experiment.length obs.experiment) modeled obs.cycles)
+         then
+           raise
+             (Certification_failure
+                (Printf.sprintf
+                   "SAT model rejected: decoded mapping does not explain %s \
+                    (modeled %s, observed %s)"
+                   (Experiment.to_string obs.experiment)
+                   (Rat.to_string modeled)
+                   (Rat.to_string obs.cycles))))
+      observations
+  end
+
+(* Every solver verdict the CEGIS loop consumes flows through here, so the
+   fresh, incremental, and portfolio paths are all certified when the knob
+   is on. *)
+let certified_solve config encoding observations ?assumptions ~check () =
+  let sat = Encoding.sat encoding in
+  let verdict = solve_sub config ?assumptions ~check sat in
+  (match verdict with
+   | Solver.Unsat -> certify_unsat config ?assumptions sat
+   | Solver.Sat model -> certify_sat config encoding observations model);
+  verdict
+
 let find_mapping config encoding observations pool =
   let check = theory_check config encoding observations pool in
-  match solve_sub config ~check (Encoding.sat encoding) with
+  match certified_solve config encoding observations ~check () with
   | Solver.Sat model -> Some (Encoding.decode encoding model)
   | Solver.Unsat -> None
 
@@ -310,7 +388,7 @@ let find_other_mapping_incremental config state specs observations pool m1
       None
     end
     else begin
-      match solve_sub config ~assumptions ~check sat with
+      match certified_solve config encoding observations ~assumptions ~check () with
       | Solver.Unsat -> None
       | Solver.Sat model ->
         incr tried_counter;
@@ -354,7 +432,7 @@ let find_other_mapping_fresh config specs observations pool m1 tried_counter
       None
     end
     else begin
-      match solve_sub config ~check sat with
+      match certified_solve config encoding observations ~check () with
       | Solver.Unsat -> None
       | Solver.Sat model ->
         incr tried_counter;
@@ -443,7 +521,8 @@ let infer ?(config = default_config) ~measure ~specs () =
     if config.incremental_sat then begin
       let o_encoding =
         Encoding.create ~num_ports:config.num_ports
-          ~symmetry_breaking:config.symmetry_breaking specs
+          ~symmetry_breaking:config.symmetry_breaking
+          ~certify:config.certify specs
       in
       Pmi_smt.Sat.set_reduce_enabled (Encoding.sat o_encoding)
         config.clause_db_reduction;

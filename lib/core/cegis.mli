@@ -57,7 +57,26 @@ type config = {
                                    each persistent solver in DIMACS format
                                    to [prefix ^ "-findmapping.cnf"] etc.,
                                    for offline triage (default [None]) *)
+  certify : bool;              (** trust-but-verify: log DRAT proof traces
+                                   in every solver and have the independent
+                                   checker ({!Pmi_analysis.Drat}) accept a
+                                   certificate for {e each} verdict the loop
+                                   consumes — UNSAT answers (fresh,
+                                   incremental-with-assumptions, and
+                                   portfolio paths alike) must re-derive as
+                                   RUP, SAT models must satisfy every input
+                                   clause and their decoded mapping must
+                                   explain every observation under the naive
+                                   exact-rational oracle.  A failure raises
+                                   {!Certification_failure} (default
+                                   [false]) *)
 }
+
+exception Certification_failure of string
+(** An answer the solver produced could not be independently verified:
+    either a DRAT certificate was rejected, or a SAT model failed the
+    CNF/theory replay.  This indicates a solver or encoding bug — the
+    result must not be trusted. *)
 
 val default_config : config
 

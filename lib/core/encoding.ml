@@ -25,10 +25,20 @@ let sat t = t.solver
 let num_ports t = t.num_ports
 let schemes t = Array.to_list (Array.map (fun r -> (r.scheme, r.spec)) t.rows)
 
-let create ~num_ports ?(symmetry_breaking = true) specs =
+let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
   if num_ports <= 0 then invalid_arg "Encoding.create: num_ports";
   let solver = Sat.create () in
+  (* Proof logging must precede every clause, otherwise the trace lacks the
+     axioms later derivations resolve against. *)
+  if certify then Sat.set_proof_logging solver true;
   let fresh_row () = Array.init num_ports (fun _ -> Sat.fresh_var solver) in
+  let name_row prefix scheme vars =
+    Array.iteri
+      (fun k v ->
+         Sat.name_var solver v
+           (Printf.sprintf "%s(%s,p%d)" prefix (Scheme.name scheme) k))
+      vars
+  in
   let proper_indices =
     List.filteri (fun _ (_, spec) -> match spec with Proper _ -> true | Improper _ -> false)
       specs
@@ -49,7 +59,9 @@ let create ~num_ports ?(symmetry_breaking = true) specs =
             (match spec with
              | Proper c -> check c
              | Improper { own_ports } -> check own_ports);
-            { scheme; spec; own = fresh_row (); shared = [||]; selectors = [||] })
+            let own = fresh_row () in
+            name_row "own" scheme own;
+            { scheme; spec; own; shared = [||]; selectors = [||] })
          specs)
   in
   (* Cardinality of every own µop. *)
@@ -76,9 +88,17 @@ let create ~num_ports ?(symmetry_breaking = true) specs =
              |> List.filter (fun r -> not (Scheme.equal r.scheme row.scheme))
            in
            let shared = fresh_row () in
+           name_row "shared" row.scheme shared;
            let selectors =
              Array.of_list (List.map (fun _ -> Sat.fresh_var solver) partners)
            in
+           List.iteri
+             (fun j partner ->
+                Sat.name_var solver selectors.(j)
+                  (Printf.sprintf "select(%s,%s)"
+                     (Scheme.name row.scheme)
+                     (Scheme.name partner.scheme)))
+             partners;
            Card.exactly solver
              (Array.to_list (Array.map Lit.pos selectors))
              1;

@@ -30,9 +30,15 @@ type t
 val create :
   num_ports:int ->
   ?symmetry_breaking:bool ->
+  ?certify:bool ->
   (Pmi_isa.Scheme.t * instr_spec) list ->
   t
-(** @raise Invalid_argument if a port count is out of range or an improper
+(** [~certify:true] turns on the solver's DRAT proof logging {e before} any
+    clause is added, so every later verdict carries a complete certificate
+    ([Pmi_smt.Sat.proof]).  The µop variables are always named
+    ([own(<scheme>,p<k>)], [shared(…)], [select(<improper>,<partner>)]) for
+    DIMACS/DRAT cross-referencing.
+    @raise Invalid_argument if a port count is out of range or an improper
     instruction is given without any proper one. *)
 
 val sat : t -> Pmi_smt.Sat.t

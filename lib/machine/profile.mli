@@ -31,6 +31,10 @@ val a64fx : t
 
 val all : t list
 
+val all_bases : Pmi_isa.Iclass.base list
+(** Every functional-unit base class, in declaration order (the domain of
+    [ports_of_base]). *)
+
 val max_port_set : t -> int
 (** Largest port-set cardinality over all base classes. *)
 

@@ -64,6 +64,12 @@ let uop_count t scheme =
 
 let copy t = { t with table = Hashtbl.copy t.table }
 
+let ports_used t =
+  Hashtbl.fold
+    (fun _ (_, usage) acc ->
+       List.fold_left (fun acc (ports, _) -> Portset.union acc ports) acc usage)
+    t.table Portset.empty
+
 let usage_to_string usage =
   match usage with
   | [] -> "(none)"

@@ -33,6 +33,10 @@ val uop_count : t -> Pmi_isa.Scheme.t -> int
 
 val copy : t -> t
 
+val ports_used : t -> Portset.t
+(** Union of every port set mentioned by any scheme; ports outside it are
+    unreachable under this mapping. *)
+
 val normalize_usage : usage -> usage
 
 val usage_to_string : usage -> string

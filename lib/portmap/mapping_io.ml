@@ -45,7 +45,12 @@ let parse_portset text =
            | Some _ | None -> raise (Parse ("malformed port: " ^ p)))
         (String.split_on_char ',' inner)
     in
-    Portset.of_list ports
+    (* [Portset] is a machine-word bitmask; a port beyond its width is a
+       parse error like any other, not an escaping [Invalid_argument]. *)
+    match Portset.of_list ports with
+    | ports -> ports
+    | exception Invalid_argument _ ->
+      raise (Parse ("port out of representable range: " ^ text))
   end
 
 let parse_uop text =

@@ -45,6 +45,17 @@ let add_stats a b =
     deleted = a.deleted + b.deleted;
     max_lbd = max a.max_lbd b.max_lbd }
 
+(* DRAT-style proof trace.  [Input] clauses are axioms (problem clauses,
+   cardinality chains, theory lemmas); [Derive] clauses must have the RUP
+   property with respect to everything logged before them; [Delete] removes
+   one instance of a clause from the checker's database.  Clauses are logged
+   exactly as the caller/learner produced them — the independent checker
+   (Pmi_analysis.Drat) canonicalizes on its side. *)
+type proof_step =
+  | Input of Lit.t list
+  | Derive of Lit.t list
+  | Delete of Lit.t list
+
 type t = {
   (* Clause arena (long clauses only). *)
   mutable arena : int array;
@@ -96,6 +107,19 @@ type t = {
   (* Learned-clause export log (enabled on portfolio clones). *)
   mutable log_enabled : bool;
   mutable learnt_log : (int * int list) list;  (* (lbd, lits), newest first *)
+  (* DRAT proof trace (certification support).  Stored internally as one
+     flat growable int buffer of [tag; len; lits...] records with tag
+     0 = Input, 1 = Derive, 2 = Delete; logging a step on the learning hot
+     path is a bounds check plus a blit, with no per-step allocation.
+     [proof] converts to the public [proof_step] view. *)
+  mutable proof_enabled : bool;
+  mutable proof_buf : int array;
+  mutable proof_pos : int;
+  mutable proof_len : int;
+  (* Optional variable names, for DIMACS/DRAT cross-referencing. *)
+  names : (int, string) Hashtbl.t;
+  (* Invariant sanitizer (debug): checked at decision-level-0 boundaries. *)
+  mutable sanitize : bool;
   (* Statistics. *)
   mutable st_decisions : int;
   mutable st_propagations : int;
@@ -156,6 +180,12 @@ let create () =
     reduce_step = 2000;
     log_enabled = false;
     learnt_log = [];
+    proof_enabled = false;
+    proof_buf = [||];
+    proof_pos = 0;
+    proof_len = 0;
+    names = Hashtbl.create 16;
+    sanitize = false;
     st_decisions = 0;
     st_propagations = 0;
     st_conflicts = 0;
@@ -237,6 +267,73 @@ let absorb_stats s other =
   s.st_learned <- s.st_learned + other.st_learned;
   s.st_deleted <- s.st_deleted + other.st_deleted;
   s.st_max_lbd <- max s.st_max_lbd other.st_max_lbd
+
+(* ------------------------------------------------------------------ *)
+(* Proof trace and variable names                                      *)
+(* ------------------------------------------------------------------ *)
+
+let proof_reserve s extra =
+  let need = s.proof_pos + extra in
+  if need > Array.length s.proof_buf then begin
+    let cap = max 1024 (max need (2 * Array.length s.proof_buf)) in
+    let fresh = Array.make cap 0 in
+    Array.blit s.proof_buf 0 fresh 0 s.proof_pos;
+    s.proof_buf <- fresh
+  end
+
+(* Append a [tag; n; lits...] record, blitting the literals out of [src]
+   (the learnt scratch buffer or the clause arena). *)
+let[@inline] proof_push_sub s tag src off n =
+  if s.proof_enabled then begin
+    proof_reserve s (n + 2);
+    let b = s.proof_buf and p = s.proof_pos in
+    b.(p) <- tag;
+    b.(p + 1) <- n;
+    Array.blit src off b (p + 2) n;
+    s.proof_pos <- p + n + 2;
+    s.proof_len <- s.proof_len + 1
+  end
+
+let proof_push_list s tag lits =
+  if s.proof_enabled then begin
+    let n = List.length lits in
+    proof_reserve s (n + 2);
+    let b = s.proof_buf and p = s.proof_pos in
+    b.(p) <- tag;
+    b.(p + 1) <- n;
+    let i = ref (p + 2) in
+    List.iter (fun l -> b.(!i) <- l; incr i) lits;
+    s.proof_pos <- p + n + 2;
+    s.proof_len <- s.proof_len + 1
+  end
+
+let set_proof_logging s b = s.proof_enabled <- b
+let proof_logging s = s.proof_enabled
+
+let proof s =
+  let b = s.proof_buf in
+  let rec steps p acc =
+    if p >= s.proof_pos then List.rev acc
+    else begin
+      let tag = b.(p) and n = b.(p + 1) in
+      let lits = ref [] in
+      for j = p + 1 + n downto p + 2 do lits := b.(j) :: !lits done;
+      let step =
+        match tag with
+        | 0 -> Input !lits
+        | 1 -> Derive !lits
+        | _ -> Delete !lits
+      in
+      steps (p + n + 2) (step :: acc)
+    end
+  in
+  steps 0 []
+
+let proof_length s = s.proof_len
+let proof_derive s lits = proof_push_list s 1 lits
+
+let name_var s v name = Hashtbl.replace s.names v name
+let var_name s v = Hashtbl.find_opt s.names v
 
 (* ------------------------------------------------------------------ *)
 (* Policy knobs                                                        *)
@@ -748,6 +845,9 @@ let record_learnt s n lbd =
     let lits = Array.to_list (Array.sub s.learnt_buf 0 n) in
     s.learnt_log <- (lbd, lits) :: s.learnt_log
   end;
+  (* The minimized first-UIP clause has the RUP property w.r.t. the clauses
+     logged so far, so it is a legal DRAT derivation step. *)
+  proof_push_sub s 1 s.learnt_buf 0 n;
   if n = 1 then enqueue s s.learnt_buf.(0) (-1)
   else if n = 2 then begin
     let a = s.learnt_buf.(0) and b = s.learnt_buf.(1) in
@@ -778,6 +878,11 @@ let record_learnt s n lbd =
 
 let add_clause_internal s ~learned ~lbd lits =
   assert (s.n_levels = 0);
+  (* Log the clause exactly as given, before simplification: the checker's
+     database must mirror what the caller asserted, and a clause imported
+     from a portfolio winner ([~learned:true]) is RUP w.r.t. the winner's
+     derivations, which the portfolio driver logs first. *)
+  proof_push_list s (if learned then 1 else 0) lits;
   if s.ok then begin
     (* Simplify: drop duplicates and root-level-false literals, detect
        tautologies and root-level-satisfied clauses. *)
@@ -871,7 +976,9 @@ let reduce_db s =
     deletable;
   let victims = Array.length deletable / 2 in
   for i = 0 to victims - 1 do
-    c_delete s deletable.(i)
+    let cr = deletable.(i) in
+    proof_push_sub s 2 s.arena (cr + 2) (c_len s cr);
+    c_delete s cr
   done;
   s.st_deleted <- s.st_deleted + victims;
   (* Compact the arena and rebuild the watch lists. *)
@@ -914,6 +1021,219 @@ let reduce_db s =
   s.reduce_budget <- s.st_conflicts + s.reduce_step
 
 (* ------------------------------------------------------------------ *)
+(* Invariant sanitizer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Invariant_violation of string
+
+(* Structural well-formedness checks over the whole solver state.  These are
+   meaningful at decision-level boundaries (between [propagate] fixpoints),
+   which is where [solve_opt] calls them when [set_sanitize] is on: at entry,
+   after every restart/reduction, and at exit.  The checks are deliberately
+   exhaustive rather than fast — they exist to catch engine bugs, not to run
+   in production. *)
+module Invariants = struct
+  exception Bad of string
+
+  let failf fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+  let check_assigns s =
+    for v = 0 to s.nvars - 1 do
+      let a = s.assigns.(2 * v) and b = s.assigns.((2 * v) + 1) in
+      if a <> -b then
+        failf "var %d: literal slots disagree (%d vs %d)" v a b
+    done
+
+  let check_trail s =
+    if s.trail_size > s.nvars then
+      failf "trail size %d exceeds variable count %d" s.trail_size s.nvars;
+    if s.qhead > s.trail_size then
+      failf "propagation queue head %d beyond trail size %d" s.qhead
+        s.trail_size;
+    for d = 0 to s.n_levels - 1 do
+      if s.trail_lim.(d) > s.trail_size then
+        failf "trail_lim[%d] = %d beyond trail size %d" d s.trail_lim.(d)
+          s.trail_size;
+      if d > 0 && s.trail_lim.(d) < s.trail_lim.(d - 1) then
+        failf "trail_lim not monotone at level %d" d
+    done;
+    let on_trail = Array.make (max 1 s.nvars) false in
+    for i = 0 to s.trail_size - 1 do
+      let l = s.trail.(i) in
+      let v = Lit.var l in
+      if v < 0 || v >= s.nvars then
+        failf "trail[%d]: literal %d out of range" i l;
+      if on_trail.(v) then failf "var %d appears twice on the trail" v;
+      on_trail.(v) <- true;
+      if s.assigns.(l) <> 1 then
+        failf "trail[%d]: literal %d is not assigned true" i l;
+      let lvl = s.level.(v) in
+      if lvl < 0 || lvl > s.n_levels then
+        failf "trail[%d]: var %d has out-of-range level %d" i v lvl;
+      let seg_lo = if lvl = 0 then 0 else s.trail_lim.(lvl - 1) in
+      let seg_hi =
+        if lvl >= s.n_levels then s.trail_size else s.trail_lim.(lvl)
+      in
+      if i < seg_lo || i >= seg_hi then
+        failf "trail[%d]: var %d at level %d lies outside that segment" i v lvl
+    done;
+    for v = 0 to s.nvars - 1 do
+      if var_value s v <> 0 && not on_trail.(v) then
+        failf "var %d is assigned but missing from the trail" v
+    done
+
+  let check_reasons s =
+    for i = 0 to s.trail_size - 1 do
+      let l = s.trail.(i) in
+      let v = Lit.var l in
+      let r = s.reason.(v) in
+      if r >= 0 then
+        if r land 1 = 1 then begin
+          let other = r lsr 1 in
+          if Lit.var other >= s.nvars then
+            failf "var %d: binary reason literal %d out of range" v other;
+          if s.assigns.(other) <> -1 then
+            failf "var %d: binary reason literal %d is not false" v other
+        end
+        else begin
+          let cr = r lsr 1 in
+          if cr < 0 || cr + 2 > s.arena_top then
+            failf "var %d: reason cref %d outside the arena" v cr;
+          let len = c_len s cr in
+          if len < 3 || cr + 2 + len > s.arena_top then
+            failf "var %d: reason cref %d malformed" v cr;
+          if c_deleted s cr then
+            failf "var %d: deleted clause %d used as a reason" v cr;
+          if c_lit s cr 0 <> l then
+            failf "var %d: reason clause %d does not carry the propagated \
+                   literal in slot 0" v cr;
+          for j = 1 to len - 1 do
+            if s.assigns.(c_lit s cr j) <> -1 then
+              failf "var %d: reason clause %d has a non-false tail literal"
+                v cr
+          done
+        end
+    done
+
+  let check_clauses_and_watches s =
+    let expected = Hashtbl.create 64 in
+    let scan_list name arr n ~learned =
+      for i = 0 to n - 1 do
+        let cr = arr.(i) in
+        if cr < 0 || cr + 2 > s.arena_top then
+          failf "%s[%d]: cref %d outside the arena" name i cr;
+        let len = c_len s cr in
+        if len < 3 || cr + 2 + len > s.arena_top then
+          failf "%s[%d]: clause %d malformed (len %d)" name i cr len;
+        if c_deleted s cr then
+          failf "%s[%d]: deleted clause %d still registered" name i cr;
+        if c_learned s cr <> learned then
+          failf "%s[%d]: clause %d learned-flag mismatch" name i cr;
+        for j = 0 to len - 1 do
+          let l = c_lit s cr j in
+          if l < 0 || Lit.var l >= s.nvars then
+            failf "clause %d: literal %d out of range" cr l
+        done;
+        if Hashtbl.mem expected cr then
+          failf "clause %d registered in two clause lists" cr;
+        Hashtbl.add expected cr (c_lit s cr 0, c_lit s cr 1)
+      done
+    in
+    scan_list "clauses" s.clauses s.n_problem ~learned:false;
+    scan_list "learnts" s.learnts s.n_learnts ~learned:true;
+    let watched = Hashtbl.create 64 in
+    for l = 0 to (2 * s.nvars) - 1 do
+      let wd = s.watch.(l) and wn = s.watch_size.(l) in
+      if wn > Array.length wd then
+        failf "watch list of literal %d overruns its array" l;
+      let i = ref 0 in
+      while !i < wn do
+        let cr = wd.(!i) and blocker = wd.(!i + 1) in
+        (match Hashtbl.find_opt expected cr with
+         | None ->
+           failf "literal %d watches an unknown or deleted clause %d" l cr
+         | Some _ ->
+           let len = c_len s cr in
+           let in_clause = ref false in
+           for j = 0 to len - 1 do
+             if c_lit s cr j = blocker then in_clause := true
+           done;
+           if not !in_clause then
+             failf "literal %d: blocker %d is not in clause %d" l blocker cr);
+        Hashtbl.add watched cr l;
+        i := !i + 2
+      done
+    done;
+    Hashtbl.iter
+      (fun cr (l0, l1) ->
+         match Hashtbl.find_all watched cr with
+         | [ a; b ] when (a = l0 && b = l1) || (a = l1 && b = l0) -> ()
+         | ws ->
+           failf "clause %d: watched by {%s}, expected its first two \
+                  literals {%d, %d}" cr
+             (String.concat "," (List.map string_of_int ws))
+             l0 l1)
+      expected
+
+  let check_heap s =
+    if s.heap_size > s.nvars then
+      failf "heap size %d exceeds variable count %d" s.heap_size s.nvars;
+    for i = 0 to s.heap_size - 1 do
+      let v = s.heap.(i) in
+      if v < 0 || v >= s.nvars then
+        failf "heap[%d]: variable %d out of range" i v;
+      if s.heap_index.(v) <> i then
+        failf "heap[%d]: heap_index inverse broken for var %d" i v;
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if s.activity.(s.heap.(parent)) < s.activity.(v) then
+          failf "max-heap property violated at index %d" i
+      end
+    done;
+    for v = 0 to s.nvars - 1 do
+      let hi = s.heap_index.(v) in
+      if hi >= 0 && (hi >= s.heap_size || s.heap.(hi) <> v) then
+        failf "var %d: stale heap_index %d" v hi;
+      (* Only at fully propagated boundaries is every unassigned variable
+         guaranteed to sit in the decision heap. *)
+      if hi < 0 && var_value s v = 0 && s.qhead = s.trail_size then
+        failf "unassigned var %d missing from the decision heap" v
+    done
+
+  let check_bins s =
+    for l = 0 to (2 * s.nvars) - 1 do
+      let bn = s.bin_size.(l) in
+      if bn > Array.length s.bins.(l) then
+        failf "binary list of literal %d overruns its array" l;
+      for i = 0 to bn - 1 do
+        let q = s.bins.(l).(i) in
+        if q < 0 || Lit.var q >= s.nvars then
+          failf "binary list of literal %d holds out-of-range literal %d" l q
+      done
+    done
+
+  let check s =
+    match
+      check_assigns s;
+      check_trail s;
+      check_reasons s;
+      check_clauses_and_watches s;
+      check_heap s;
+      check_bins s
+    with
+    | () -> Ok ()
+    | exception Bad msg -> Error msg
+end
+
+let set_sanitize s b = s.sanitize <- b
+
+let sanitize_check s =
+  if s.sanitize then
+    match Invariants.check s with
+    | Ok () -> ()
+    | Error msg -> raise (Invariant_violation msg)
+
+(* ------------------------------------------------------------------ *)
 (* Search                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -949,6 +1269,7 @@ let solve_opt ?(assumptions = []) ?(stop = fun () -> false) s =
   if not s.ok then Some Unsat
   else begin
     cancel_until s 0;
+    sanitize_check s;
     let assumptions = Array.of_list assumptions in
     let n_assumptions = Array.length assumptions in
     let restart_count = ref 0 in
@@ -998,7 +1319,8 @@ let solve_opt ?(assumptions = []) ?(stop = fun () -> false) s =
         conflicts_here := 0;
         cancel_until s 0;
         if s.reduce_enabled && s.st_conflicts >= s.reduce_budget then
-          reduce_db s
+          reduce_db s;
+        sanitize_check s
       end
       else if s.n_levels < n_assumptions then begin
         let a = assumptions.(s.n_levels) in
@@ -1024,6 +1346,7 @@ let solve_opt ?(assumptions = []) ?(stop = fun () -> false) s =
       end
     done;
     cancel_until s 0;
+    sanitize_check s;
     !result
   end
 
@@ -1085,6 +1408,15 @@ let copy s =
     reduce_step = s.reduce_step;
     log_enabled = true;
     learnt_log = [];
+    (* The parent assembles the proof: it replays the winner's learnt log as
+       derivation steps (see [Solver.solve_portfolio]), so clones never
+       record their own trace. *)
+    proof_enabled = false;
+    proof_buf = [||];
+    proof_pos = 0;
+    proof_len = 0;
+    names = Hashtbl.copy s.names;
+    sanitize = s.sanitize;
     st_decisions = 0;
     st_propagations = 0;
     st_conflicts = 0;
@@ -1123,6 +1455,20 @@ let to_dimacs ?(learned = false) s buf =
   Buffer.add_string buf
     (Printf.sprintf "c pmi_smt export: %d vars, %d clauses%s\n" s.nvars total
        (if learned then " (learnt clauses included)" else ""));
+  (* Cross-reference comments: map 1-based DIMACS variable ids back to the
+     caller-supplied [Expr]/encoding names, so dumped CNFs and DRAT traces
+     can be read against the port-mapping model. *)
+  if Hashtbl.length s.names > 0 then begin
+    let named =
+      List.sort compare
+        (Hashtbl.fold (fun v name acc -> (v, name) :: acc) s.names [])
+    in
+    List.iter
+      (fun (v, name) ->
+         if v >= 0 && v < s.nvars then
+           Buffer.add_string buf (Printf.sprintf "c var %d %s\n" (v + 1) name))
+      named
+  end;
   Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" s.nvars total);
   if not s.ok then Buffer.add_string buf "0\n";
   Array.iter
@@ -1158,7 +1504,3 @@ let dimacs ?learned s =
   let buf = Buffer.create 4096 in
   to_dimacs ?learned s buf;
   Buffer.contents buf
-
-(* [c_learned] is only read by the debug export path today; reference it so
-   the arena accessors stay a complete set. *)
-let _ = c_learned

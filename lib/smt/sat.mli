@@ -115,7 +115,67 @@ val invert_phases : t -> unit
 val randomize_phases : t -> unit
 (** Randomize every saved phase using the solver PRNG. *)
 
+(** {1 Certification} *)
+
+(** One step of a DRAT-style proof trace, logged when proof logging is on.
+    [Input] clauses are axioms asserted via {!add_clause} (problem clauses,
+    cardinality chains, theory lemmas).  [Derive] clauses are additions that
+    must have the reverse-unit-propagation (RUP) property with respect to
+    every step logged before them: first-UIP learnt clauses, and clauses
+    imported from a portfolio winner.  [Delete] records a clause discarded
+    by clause-database reduction.  Literals appear exactly as produced; the
+    independent checker ([Pmi_analysis.Drat]) canonicalizes. *)
+type proof_step =
+  | Input of Lit.t list
+  | Derive of Lit.t list
+  | Delete of Lit.t list
+
+val set_proof_logging : t -> bool -> unit
+(** Enable/disable proof logging (default off).  Enable it {e before} adding
+    clauses, otherwise the trace is missing axioms and no derivation will
+    check.  Logging survives across [solve] calls, so one trace certifies a
+    whole incremental session. *)
+
+val proof_logging : t -> bool
+
+val proof : t -> proof_step list
+(** The trace so far, oldest step first. *)
+
+val proof_length : t -> int
+
+val proof_derive : t -> Lit.t list -> unit
+(** [proof_derive s lits] appends an externally justified derivation step
+    (e.g. a portfolio clone's learnt clause) to the trace.  No-op when proof
+    logging is off. *)
+
+exception Invariant_violation of string
+
+val set_sanitize : t -> bool -> unit
+(** Debug flag (default off): when on, {!Invariants.check} runs at every
+    decision-level-0 boundary inside [solve] — entry, each restart/DB
+    reduction, and exit — and a failure raises {!Invariant_violation}. *)
+
+(** Structural well-formedness checks over the live solver state: literal
+    slot consistency, trail/level segment agreement, reason clauses
+    well-formed and never deleted, watcher completeness over the flat arena
+    (every live clause watched by exactly its first two literals, blockers
+    inside the clause), VSIDS heap/index integrity, and binary-list
+    bounds. *)
+module Invariants : sig
+  val check : t -> (unit, string) Stdlib.result
+  (** [Ok ()] or [Error message] naming the first violated invariant.  Call
+      at decision level 0 (between [solve] calls, or via {!set_sanitize}
+      inside them). *)
+end
+
 (** {1 Export} *)
+
+val name_var : t -> int -> string -> unit
+(** Attach a human-readable name to a variable; {!to_dimacs} emits it as a
+    [c var <dimacs-id> <name>] comment so CNF dumps and DRAT traces can be
+    cross-referenced against the encoding. *)
+
+val var_name : t -> int -> string option
 
 val to_dimacs : ?learned:bool -> t -> Buffer.t -> unit
 (** Append the clause set in DIMACS CNF format ([p cnf] header, 1-based

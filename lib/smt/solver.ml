@@ -92,13 +92,24 @@ let solve_portfolio ?(assumptions = []) ?(max_rounds = 100_000) ?domains
              member has already published a verdict. *)
           failwith "Smt.Solver.solve_portfolio: no member finished"
         | Some (winner, verdict) ->
+          (* Certification: clones never log their own trace, so replay the
+             winner's *entire* learnt sequence into the parent's proof
+             first, in learning order.  Each clause is RUP w.r.t. the shared
+             clause database plus the winner's earlier learnts, so the
+             sequence is a valid DRAT suffix — and it must precede the
+             selective imports below, whose RUP certificates depend on
+             winner learnts that fall outside the LBD bound. *)
+          let winner_learnts = Sat.new_learnts winner in
+          if Sat.proof_logging sat then
+            List.iter (fun (_, lits) -> Sat.proof_derive sat lits)
+              winner_learnts;
           (* Fold the winner's work back into the persistent encoding: its
              low-glue learnt clauses (all implied by the clause database
              alone, so safe to keep) and its search counters. *)
           List.iter
             (fun (lbd, lits) ->
                if lbd <= import_lbd_limit then Sat.add_learnt sat ~lbd lits)
-            (Sat.new_learnts winner);
+            winner_learnts;
           Sat.absorb_stats sat winner;
           (match verdict with
            | Sat.Unsat -> Unsat

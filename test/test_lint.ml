@@ -1,0 +1,83 @@
+(* The @lint gate: everything the repo ships — machine profiles, the full
+   Zen+ catalog, every profile's ground-truth mapping, and the example
+   mapping files — must produce no error-severity diagnostics, so a bad
+   profile or fixture edit fails `dune runtest` (and `dune build @lint`)
+   rather than silently skewing the inference. *)
+
+module Lint = Pmi_analysis.Lint
+module Catalog = Pmi_isa.Catalog
+module Mapping = Pmi_portmap.Mapping
+module Mapping_io = Pmi_portmap.Mapping_io
+module Profile = Pmi_machine.Profile
+module Ground_truth = Pmi_machine.Ground_truth
+
+let fixture = "../examples/mappings/zenplus_excerpt.pmap"
+
+let show diags = String.concat "\n" (List.map Lint.to_string diags)
+
+let check_no_errors label diags =
+  match Lint.errors diags with
+  | [] -> ()
+  | errors -> Alcotest.failf "%s:\n%s" label (show errors)
+
+let full_catalog = lazy (Catalog.zen_plus ())
+
+let test_builtin_clean () =
+  let diags = Lint.builtin ~catalog:(Lazy.force full_catalog) () in
+  check_no_errors "shipped profiles/catalog/ground truth" diags;
+  (* Surface the advisory findings in the test log without failing. *)
+  List.iter (fun d -> Printf.printf "%s\n" (Lint.to_string d)) diags
+
+let read_fixture () =
+  let ic = open_in fixture in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let test_example_mapping_clean () =
+  let catalog = Lazy.force full_catalog in
+  match
+    Mapping_io.of_string ~resolve:(Mapping_io.resolver catalog) (read_fixture ())
+  with
+  | Error e ->
+    Alcotest.failf "%s:%d: %s" fixture e.Mapping_io.line e.Mapping_io.message
+  | Ok m ->
+    Alcotest.(check bool) "fixture is non-trivial" true (Mapping.size m > 50);
+    let reference = Ground_truth.mapping_for Profile.zen_plus catalog in
+    let diags = Lint.lint_mapping ~reference ~subject:fixture m in
+    check_no_errors "example mapping" diags;
+    (* The fixture is an excerpt of the ground truth itself, so even the
+       advisory µop-count cross-check must stay silent. *)
+    Alcotest.(check (list string)) "no µop-count drift" []
+      (List.filter_map
+         (fun d ->
+            if d.Lint.rule = "uop-count-mismatch" then Some (Lint.to_string d)
+            else None)
+         diags)
+
+let test_corrupted_fixture_rejected () =
+  let catalog = Lazy.force full_catalog in
+  let resolve = Mapping_io.resolver catalog in
+  let reject label text =
+    match Mapping_io.of_string ~resolve text with
+    | Error (_ : Mapping_io.error) -> ()
+    | Ok _ -> Alcotest.failf "%s: corrupted mapping accepted" label
+  in
+  let text = read_fixture () in
+  reject "out-of-range port"
+    (text ^ "scheme \"vdivss <XMM>, <XMM>, <XMM>\" 1x[99]\n");
+  reject "zero multiplicity"
+    (text ^ "scheme \"vdivss <XMM>, <XMM>, <XMM>\" 0x[3]\n");
+  reject "unknown scheme" (text ^ "scheme \"frobnicate <ZMM>\" 1x[0]\n");
+  reject "empty port set"
+    (text ^ "scheme \"vdivss <XMM>, <XMM>, <XMM>\" 1x[]\n")
+
+let () =
+  Alcotest.run "lint"
+    [ ("shipped",
+       [ Alcotest.test_case "profiles, catalog, ground truth" `Quick
+           test_builtin_clean;
+         Alcotest.test_case "example mapping" `Quick test_example_mapping_clean;
+         Alcotest.test_case "corrupted fixtures rejected" `Quick
+           test_corrupted_fixture_rejected ]) ]

@@ -437,6 +437,69 @@ let test_dimacs_unsat_export () =
   Alcotest.(check bool) "contains the empty clause" true
     (List.mem [] clauses)
 
+let test_dimacs_var_names () =
+  (* Named variables come back out of the export as [c var <id> <name>]
+     comment lines, DIMACS ids being 1-based. *)
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  let b = Sat.fresh_var s in
+  let c = Sat.fresh_var s in
+  Sat.name_var s a "own(iA,p0)";
+  Sat.name_var s c "select(iB,iA)";
+  Sat.add_clause s [ Lit.pos a; Lit.pos b; Lit.pos c ];
+  Alcotest.(check (option string)) "var_name set" (Some "own(iA,p0)")
+    (Sat.var_name s a);
+  Alcotest.(check (option string)) "var_name unset" None (Sat.var_name s b);
+  let parsed = ref [] in
+  List.iter
+    (fun line ->
+       match String.split_on_char ' ' (String.trim line) with
+       | "c" :: "var" :: id :: rest ->
+         parsed := (int_of_string id - 1, String.concat " " rest) :: !parsed
+       | _ -> ())
+    (String.split_on_char '\n' (Sat.dimacs s));
+  let names = List.sort compare !parsed in
+  Alcotest.(check (list (pair int string)))
+    "names round-trip"
+    [ (a, "own(iA,p0)"); (c, "select(iB,iA)") ]
+    names;
+  (* The comment lines must not confuse the DIMACS parser. *)
+  let num_vars, _, clauses = parse_dimacs (Sat.dimacs s) in
+  Alcotest.(check int) "vars" 3 num_vars;
+  Alcotest.(check int) "clauses" 1 (List.length clauses)
+
+(* ------------------------------------------------------------------ *)
+(* CDCL invariant sanitizer                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sanitize_pigeonhole () =
+  (* Walk the engine through learning, restarts and clause-database
+     reduction with the internal invariant checks enabled: any watcher,
+     trail, reason or heap corruption raises [Invariant_violation]. *)
+  let s = Sat.create () in
+  Sat.set_sanitize s true;
+  pigeonhole s ~pigeons:6 ~holes:5;
+  Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s));
+  match Sat.Invariants.check s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant violated after solve: %s" msg
+
+let prop_sanitize_random =
+  QCheck2.Test.make ~name:"sanitizer accepts random solving" ~count:120
+    cnf_gen
+    (fun (n, clauses) ->
+       let s = Sat.create () in
+       Sat.set_sanitize s true;
+       for _ = 1 to n do
+         ignore (Sat.fresh_var s)
+       done;
+       List.iter (Sat.add_clause s) clauses;
+       let verdict = is_sat (Sat.solve s) in
+       (match Sat.Invariants.check s with
+        | Ok () -> ()
+        | Error msg -> QCheck2.Test.fail_reportf "invariant: %s" msg);
+       verdict = brute_force_sat n clauses)
+
 (* ------------------------------------------------------------------ *)
 (* Cardinality constraints                                             *)
 (* ------------------------------------------------------------------ *)
@@ -657,13 +720,17 @@ let () =
            test_sat_reduction_parity_pigeonhole;
          Alcotest.test_case "solver statistics" `Quick test_sat_stats;
          Alcotest.test_case "portfolio on pigeonhole 7/6" `Slow
-           test_portfolio_pigeonhole ]
+           test_portfolio_pigeonhole;
+         Alcotest.test_case "sanitizer on pigeonhole 6/5" `Slow
+           test_sanitize_pigeonhole ]
        @ qsuite
            [ prop_sat_matches_brute_force; prop_sat_3sat_stress;
-             prop_sat_matches_dpll; prop_reduction_portfolio_parity ]);
+             prop_sat_matches_dpll; prop_reduction_portfolio_parity;
+             prop_sanitize_random ]);
       ("dimacs",
        [ Alcotest.test_case "export round-trips" `Quick test_dimacs_export;
-         Alcotest.test_case "unsat export" `Quick test_dimacs_unsat_export ]);
+         Alcotest.test_case "unsat export" `Quick test_dimacs_unsat_export;
+         Alcotest.test_case "variable names" `Quick test_dimacs_var_names ]);
       ("card",
        [ Alcotest.test_case "at_most" `Quick test_card_at_most;
          Alcotest.test_case "at_least" `Quick test_card_at_least;
