@@ -330,6 +330,7 @@ let explain_scheme insns reduced seed =
 (* ------------------------------------------------------------------ *)
 
 module Lint = Pmi_analysis.Lint
+module Diag = Pmi_diag.Diag
 
 let lint_files files json reduced _seed =
   let catalog =
@@ -358,16 +359,209 @@ let lint_files files json reduced _seed =
     end
   in
   let diags = Lint.builtin ~catalog () @ List.concat_map lint_file files in
+  Diag.print_all ~json diags;
+  prerr_endline (Diag.summary ~pass:"lint" diags);
+  if Diag.errors diags <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Sanitize: the dynamic concurrency pass over the parallel stack       *)
+(* ------------------------------------------------------------------ *)
+
+module Race = Pmi_diag.Race
+module Pool = Pmi_parallel.Pool
+
+(* Each workload runs once under the OS scheduler (real domains) and then
+   under [--schedules N] deterministic replay interleavings; the detector
+   accumulates reports across all of them.  A workload whose *result*
+   changes between schedules is itself a bug, so results are asserted. *)
+
+exception Sanitize_broken of string
+
+let check_invariant cond fmt =
+  Printf.ksprintf (fun msg -> if not cond then raise (Sanitize_broken msg)) fmt
+
+let replay_seeds schedules n_tasks =
+  (* Exhaustive when the permutation space is small, capped otherwise. *)
+  let distinct = Pool.permutations n_tasks in
+  List.init (min schedules distinct) (fun s -> s)
+
+let sanitize_pool_primitives ~schedules =
+  let run_once () =
+    let counter = Race.tracked_atomic ~name:"sanitize.counter" 0 in
+    Pool.parallel_for ~domains:3 ~n:12 (fun _ ->
+        ignore (Race.afetch_add counter 1));
+    check_invariant (Race.aget counter = 12) "parallel_for lost updates";
+    let cell = Race.tracked_ref ~name:"sanitize.forked-cell" 0 in
+    Race.write cell 41;
+    let tasks =
+      Array.init 3 (fun i ->
+          fun stop ->
+            if stop () then None
+            else if i = Race.read cell - 40 then Some i
+            else None)
+    in
+    (match Pool.race ~domains:3 tasks with
+     | Some 1 -> ()
+     | _ -> raise (Sanitize_broken "race winner changed"));
+    let arr = Array.init 8 (fun i -> i) in
+    (match Pool.find_first_index ~domains:3 (fun x -> x >= 5) arr with
+     | Some 5 -> ()
+     | _ -> raise (Sanitize_broken "find_first_index not minimal"))
+  in
+  Pool.set_schedule Pool.Os;
+  run_once ();
   List.iter
-    (fun d -> print_endline (if json then Lint.to_json d else Lint.to_string d))
-    diags;
-  let errors = List.length (Lint.errors diags) in
-  let warnings = List.length diags - errors in
-  Format.eprintf "lint: %d error%s, %d warning%s@." errors
-    (if errors = 1 then "" else "s")
-    warnings
-    (if warnings = 1 then "" else "s");
-  if errors > 0 then exit 1
+    (fun seed ->
+       Pool.set_schedule (Pool.Replay seed);
+       run_once ())
+    (replay_seeds schedules 3)
+
+(* A fixed random 3-SAT instance (80 vars, 330 clauses), deterministic so
+   every schedule solves the same formula. *)
+let sanitize_3sat_clauses =
+  let state = ref 0x5151 in
+  let next bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  let n = 80 in
+  List.init 330 (fun _ ->
+      let rec pick acc =
+        if List.length acc = 3 then acc
+        else
+          let v = next n in
+          if List.exists (fun l -> Pmi_smt.Lit.var l = v) acc then pick acc
+          else pick (Pmi_smt.Lit.make v (next 2 = 0) :: acc)
+      in
+      pick [])
+
+let sanitize_portfolio ~schedules =
+  let open Pmi_smt in
+  let solve () =
+    let s = Sat.create () in
+    for _ = 1 to 80 do
+      ignore (Sat.fresh_var s)
+    done;
+    List.iter (Sat.add_clause s) sanitize_3sat_clauses;
+    match Solver.solve_portfolio ~domains:4 ~check:(fun _ -> []) s with
+    | Solver.Sat _ -> true
+    | Solver.Unsat -> false
+  in
+  Pool.set_schedule Pool.Os;
+  let reference = solve () in
+  List.iter
+    (fun seed ->
+       Pool.set_schedule (Pool.Replay seed);
+       check_invariant (solve () = reference)
+         "portfolio verdict changed under schedule %d" seed)
+    (replay_seeds (min schedules 10) 4)
+
+let sanitize_cegis ~schedules =
+  let toy =
+    Catalog.of_list
+      [ ("add", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+         Iclass.plain (Iclass.Single Iclass.Alu));
+        ("mul", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+         Iclass.plain (Iclass.Single Iclass.Alu));
+        ("fma", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+         Iclass.plain (Iclass.Single Iclass.Alu)) ]
+  in
+  let add = Catalog.find toy 0
+  and mul = Catalog.find toy 1
+  and fma = Catalog.find toy 2 in
+  let truth = Mapping.create ~num_ports:3 in
+  Mapping.set truth add [ (Pmi_portmap.Portset.of_list [ 0; 1 ], 1) ];
+  Mapping.set truth mul [ (Pmi_portmap.Portset.of_list [ 1; 2 ], 1) ];
+  Mapping.set truth fma [ (Pmi_portmap.Portset.singleton 2, 1) ];
+  let config =
+    { Pmi_core.Cegis.default_config with
+      Pmi_core.Cegis.num_ports = 3; r_max = 4; max_experiment_size = 3;
+      symmetry_breaking = true; domains = 2 }
+  in
+  let measure e = Pmi_core.Cegis.modeled_inverse config truth e in
+  let specs =
+    [ (add, Pmi_core.Encoding.Proper 2); (mul, Pmi_core.Encoding.Proper 2);
+      (fma, Pmi_core.Encoding.Proper 1) ]
+  in
+  let infer () =
+    match Pmi_core.Cegis.infer ~config ~measure ~specs () with
+    | Pmi_core.Cegis.Converged _ -> ()
+    | Pmi_core.Cegis.No_consistent_mapping _
+    | Pmi_core.Cegis.Iteration_limit _ ->
+      raise (Sanitize_broken "toy CEGIS failed to converge")
+  in
+  Pool.set_schedule Pool.Os;
+  infer ();
+  List.iter
+    (fun seed ->
+       Pool.set_schedule (Pool.Replay seed);
+       infer ())
+    (replay_seeds (min schedules 4) 2)
+
+let sanitize_harness_sweep ~schedules ~reduced =
+  let per_bucket = if reduced > 0 then reduced else 2 in
+  let experiments catalog =
+    let schemes = Catalog.schemes catalog in
+    let n = min 12 (Array.length schemes) in
+    (* Repeat every experiment so the sweep exercises cache hits too. *)
+    List.init (2 * n) (fun i ->
+        Pmi_portmap.Experiment.singleton schemes.(i mod n))
+  in
+  let sweep () =
+    let harness = make_harness ~reduced:per_bucket ~seed:42 in
+    let exps = experiments (Machine.catalog (Harness.machine harness)) in
+    let cycles = Pool.map_list ~domains:4 (Harness.cycles harness) exps in
+    check_invariant
+      (Harness.cache_hits harness + Harness.cache_misses harness
+       = List.length exps)
+      "harness hit/miss counters lost updates";
+    check_invariant
+      (Harness.cache_misses harness = Harness.benchmarks_run harness)
+      "harness misses disagree with distinct benchmarks";
+    cycles
+  in
+  Pool.set_schedule Pool.Os;
+  let reference = sweep () in
+  List.iter
+    (fun seed ->
+       Pool.set_schedule (Pool.Replay seed);
+       check_invariant (sweep () = reference)
+         "harness sweep results changed under schedule %d" seed)
+    (replay_seeds (min schedules 6) 4)
+
+(* The soundness check: an intentionally unsynchronized write pair that
+   every schedule must report ([--plant-race], used by the regression
+   test to cover the exit-1 path). *)
+let sanitize_planted () =
+  Pool.set_schedule (Pool.Replay 0);
+  let cell = Race.tracked_ref ~name:"sanitize.planted" 0 in
+  Pool.parallel_for ~domains:2 ~n:2 (fun i -> Race.write cell i)
+
+let sanitize schedules plant json reduced _seed =
+  let schedules = max 1 schedules in
+  Race.enable ();
+  let outcome =
+    try
+      sanitize_pool_primitives ~schedules;
+      sanitize_portfolio ~schedules;
+      sanitize_cegis ~schedules;
+      sanitize_harness_sweep ~schedules ~reduced;
+      if plant then sanitize_planted ();
+      Ok ()
+    with
+    | Sanitize_broken msg -> Error msg
+  in
+  Pool.set_schedule Pool.Os;
+  Race.disable ();
+  let diags = Race.to_diags (Race.reports ()) in
+  Diag.print_all ~json diags;
+  prerr_endline (Diag.summary ~pass:"sanitize" diags);
+  (match outcome with
+   | Error msg ->
+     Format.eprintf "sanitize: workload invariant broken: %s@." msg;
+     exit 2
+   | Ok () -> ());
+  if Diag.errors diags <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Everything                                                          *)
@@ -483,4 +677,35 @@ let () =
                    with_logs (lint_files files json) reduced seed verbose
                      dump_cnf certify)
                      $ files $ json $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag)) ]))
+                     $ certify_flag));
+            (let schedules =
+               let doc = "Number of deterministic replay schedules to shake \
+                          each parallel workload through (capped at the \
+                          factorial of the task count, where coverage is \
+                          exhaustive)." in
+               Arg.(value & opt int 50 & info [ "schedules" ] ~docv:"N" ~doc)
+             in
+             let plant =
+               let doc = "Plant a deliberately unsynchronized write pair \
+                          (detector soundness check; forces exit code 1)." in
+               Arg.(value & flag & info [ "plant-race" ] ~doc)
+             in
+             let json =
+               let doc = "Emit one JSON object per diagnostic instead of \
+                          human-readable text (same schema as `lint \
+                          --json`)." in
+               Arg.(value & flag & info [ "json" ] ~doc)
+             in
+             Cmd.v
+               (Cmd.info "sanitize"
+                  ~doc:"Run the parallel workloads (pool primitives, solver \
+                        portfolio, CEGIS sweeps, harness cache) under the \
+                        vector-clock race detector, across OS scheduling and \
+                        deterministic schedule replay; exits non-zero on any \
+                        data race")
+               Term.(const (fun schedules plant json reduced seed verbose
+                             dump_cnf certify ->
+                   with_logs (sanitize schedules plant json) reduced seed
+                     verbose dump_cnf certify)
+                     $ schedules $ plant $ json $ reduced $ seed $ verbose
+                     $ dump_cnf $ certify_flag)) ]))

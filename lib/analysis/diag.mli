@@ -1,0 +1,46 @@
+(** Shared diagnostics: one severity scale, one text format, one JSON
+    schema for every analysis pass in the repo.
+
+    [Lint] (static data checks) and [Race] (the dynamic concurrency
+    sanitizer) both report through this module, so [pmi_repro lint] and
+    [pmi_repro sanitize] render identically and a single [--json] consumer
+    handles both.  The library sits below every other [lib/] component
+    (it depends only on the stdlib), which is what lets even
+    [Pmi_parallel.Pool] emit diagnostics without a dependency cycle. *)
+
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  rule : string;      (** stable kebab-case rule name, e.g. ["data-race"] *)
+  severity : severity;
+  subject : string;   (** what was analysed, e.g. ["harness.cache"] *)
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+val make :
+  string -> severity -> string -> ('a, unit, string, t) format4 -> 'a
+(** [make rule severity subject fmt ...] builds a diagnostic with a
+    printf-formatted message. *)
+
+val to_string : t -> string
+(** Human-readable one-liner: [severity[rule] subject: message]. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
+val to_json : t -> string
+(** One-line JSON object with [rule], [severity], [subject], [message]. *)
+
+val errors : t list -> t list
+(** The [Error]-severity subset. *)
+
+val print_all : json:bool -> t list -> unit
+(** Render each diagnostic to stdout, one per line, as text or JSON. *)
+
+val summary : pass:string -> t list -> string
+(** ["<pass>: <e> error(s), <w> warning(s)"] — the one-line tally both CLI
+    drivers print to stderr. *)

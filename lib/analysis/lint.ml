@@ -5,53 +5,28 @@ module Scheme = Pmi_isa.Scheme
 module Catalog = Pmi_isa.Catalog
 module Profile = Pmi_machine.Profile
 
-type severity =
+(* The diagnostic type and its renderers live in the shared [Pmi_diag.Diag]
+   module (one text/JSON schema across [lint] and [sanitize]); type
+   equations below keep this module's historical API intact. *)
+
+module Diag = Pmi_diag.Diag
+
+type severity = Diag.severity =
   | Error
   | Warning
 
-type diag = {
+type diag = Diag.t = {
   rule : string;
   severity : severity;
   subject : string;
   message : string;
 }
 
-let severity_to_string = function
-  | Error -> "error"
-  | Warning -> "warning"
-
-let to_string d =
-  Printf.sprintf "%s[%s] %s: %s" (severity_to_string d.severity) d.rule
-    d.subject d.message
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string buf "\\\""
-       | '\\' -> Buffer.add_string buf "\\\\"
-       | '\n' -> Buffer.add_string buf "\\n"
-       | '\t' -> Buffer.add_string buf "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let to_json d =
-  Printf.sprintf
-    "{\"rule\": \"%s\", \"severity\": \"%s\", \"subject\": \"%s\", \
-     \"message\": \"%s\"}"
-    (json_escape d.rule)
-    (severity_to_string d.severity)
-    (json_escape d.subject)
-    (json_escape d.message)
-
-let errors diags = List.filter (fun d -> d.severity = Error) diags
-
-let diag rule severity subject fmt =
-  Printf.ksprintf (fun message -> { rule; severity; subject; message }) fmt
+let severity_to_string = Diag.severity_to_string
+let to_string = Diag.to_string
+let to_json = Diag.to_json
+let errors = Diag.errors
+let diag = Diag.make
 
 (* ------------------------------------------------------------------ *)
 (* Mappings                                                            *)

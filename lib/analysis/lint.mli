@@ -9,16 +9,18 @@
     truth).  The [lint] subcommand of [pmi_repro] and the [@lint] dune test
     are thin drivers over this module. *)
 
-type severity =
+type severity = Pmi_diag.Diag.severity =
   | Error
   | Warning
 
-type diag = {
+type diag = Pmi_diag.Diag.t = {
   rule : string;      (** stable kebab-case rule name, e.g. ["empty-port-set"] *)
   severity : severity;
   subject : string;   (** what was linted, e.g. ["profile zen+"] *)
   message : string;
 }
+(** Equal to {!Pmi_diag.Diag.t}: the lint pass and the race sanitizer share
+    one diagnostic type, renderer and JSON schema. *)
 
 val severity_to_string : severity -> string
 

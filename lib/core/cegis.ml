@@ -6,6 +6,15 @@ module Throughput = Pmi_portmap.Throughput
 module Oracle = Pmi_portmap.Oracle
 module Pool = Pmi_parallel.Pool
 module Solver = Pmi_smt.Solver
+module Race = Pmi_diag.Race
+
+(* Sanitizer shadow locations for the two Vecs every CEGIS phase shares:
+   the observation log (read by parallel validation sweeps, written only
+   between fan-outs) and the theory-lemma pool (caller-thread only).  One
+   location per role is enough — the sanitizer runs one inference at a
+   time. *)
+let obs_loc = Race.location "cegis.observations"
+let lemma_loc = Race.location "cegis.lemma-pool"
 
 let log = Logs.Src.create "pmi.cegis" ~doc:"counter-example-guided inference"
 
@@ -88,6 +97,7 @@ let theory_check config encoding observations pool model =
   let mapping = Encoding.decode encoding model in
   let inv = inverse_fn config mapping in
   let lemmas = ref [] in
+  Race.touch_read obs_loc;
   Vec.iter
     (fun obs ->
        let explained =
@@ -102,6 +112,7 @@ let theory_check config encoding observations pool model =
            :: !lemmas)
     observations;
   let lemmas = List.rev !lemmas in
+  if lemmas <> [] then Race.touch_write lemma_loc;
   List.iter (Vec.push pool) lemmas;
   lemmas
 
@@ -113,6 +124,7 @@ let fresh_encoding config specs pool =
   in
   Pmi_smt.Sat.set_reduce_enabled (Encoding.sat encoding)
     config.clause_db_reduction;
+  Race.touch_read lemma_loc;
   Vec.iter (Pmi_smt.Sat.add_clause (Encoding.sat encoding)) pool;
   encoding
 
@@ -287,14 +299,14 @@ let distinguishing_memoized config o1 o2 schemes =
        the same experiment the sequential search returns. *)
     let strata = config.max_experiment_size in
     let hits = Array.make (strata + 1) None in
-    let best = Atomic.make max_int in
+    let best = Race.tracked_atomic ~name:"cegis.distinguishing.best" max_int in
     let rec shrink size =
-      let b = Atomic.get best in
-      if size < b && not (Atomic.compare_and_set best b size) then shrink size
+      let b = Race.aget best in
+      if size < b && not (Race.acas best b size) then shrink size
     in
     Pool.parallel_for ~domains:config.domains ~n:strata (fun idx ->
         let size = idx + 1 in
-        let abort () = Atomic.get best < size in
+        let abort () = Race.aget best < size in
         if not (abort ()) then
           match search_stratum config o1 o2 arr ~size ~abort with
           | Some e ->
@@ -362,6 +374,7 @@ type other_state = {
 }
 
 let sync_lemmas state pool =
+  Race.touch_read lemma_loc;
   let sat = Encoding.sat state.o_encoding in
   Vec.iter_from state.o_synced (Pmi_smt.Sat.add_clause sat) pool;
   state.o_synced <- Vec.length pool
@@ -512,6 +525,7 @@ let infer ?(config = default_config) ~measure ~specs () =
   let observe experiment =
     let cycles = measure experiment in
     let obs = { experiment; cycles } in
+    Race.touch_write obs_loc;
     Vec.push observations obs;
     obs
   in
@@ -594,6 +608,7 @@ let infer ?(config = default_config) ~measure ~specs () =
       else (modeled_inverse config m1, None)
     in
     let failing e =
+      Race.touch_read obs_loc;
       if
         Vec.exists (fun o -> Experiment.equal o.experiment e) observations
       then false

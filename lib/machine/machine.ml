@@ -29,7 +29,7 @@ type t = {
   profile : Profile.t;
   ground_truth : Mapping.t;
   cache : Rat.t Experiment.Tbl.t;
-  mutable measurements : int;
+  measurements : int Atomic.t; (* bumped from parallel sweeps *)
 }
 
 let create ?(config = default_config) ?(profile = Profile.zen_plus) catalog =
@@ -39,7 +39,7 @@ let create ?(config = default_config) ?(profile = Profile.zen_plus) catalog =
     profile;
     ground_truth = Ground_truth.mapping_for profile catalog;
     cache = Experiment.Tbl.create 4096;
-    measurements = 0 }
+    measurements = Atomic.make 0 }
 
 let catalog t = t.catalog
 let config t = t.config
@@ -47,7 +47,7 @@ let profile t = t.profile
 let ground_truth t = t.ground_truth
 let r_max t = t.profile.Profile.r_max
 let num_ports t = t.profile.Profile.num_ports
-let measurement_count t = t.measurements
+let measurement_count t = Atomic.get t.measurements
 
 (* All µop masses are multiples of 1/scale, so the port-utilisation search
    runs on scaled integers.  The vpmuldq-style slowdown is the finest
@@ -222,7 +222,7 @@ let amplitude t experiment =
   else t.config.noise_amplitude
 
 let measure_cycles t ~rep experiment =
-  t.measurements <- t.measurements + 1;
+  Atomic.incr t.measurements;
   let base = Rat.to_float (true_inverse t experiment) in
   let amp = amplitude t experiment in
   if amp = 0.0 then base

@@ -1,6 +1,7 @@
 module Rat = Pmi_numeric.Rat
 module Experiment = Pmi_portmap.Experiment
 module Machine = Pmi_machine.Machine
+module Race = Pmi_diag.Race
 
 type sample = {
   cycles : Rat.t;
@@ -8,13 +9,21 @@ type sample = {
   retired_ops : int;
 }
 
+(* The cache and the underlying machine are shared mutable state: parallel
+   prediction sweeps (validation's [Pool.find_first_index], the
+   [parallel/*] benches) hit [run] from several domains at once.  One
+   harness-wide lock covers the probe/measure/insert sequence — the mutex
+   is real even with the sanitizer off, and doubles as the happens-before
+   edge the race detector checks.  Hit/miss counters are atomics so the
+   accessors can read them without the lock. *)
 type t = {
   machine : Machine.t;
   reps : int;
   precision : int;
-  cache : sample Experiment.Tbl.t;
-  mutable hits : int;
-  mutable misses : int;
+  cache : ((int * int) list, sample) Race.tracked_table;
+  lock : Race.lock;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
 let create ?(reps = 11) ?(precision = 1000) machine =
@@ -22,9 +31,10 @@ let create ?(reps = 11) ?(precision = 1000) machine =
   { machine;
     reps;
     precision;
-    cache = Experiment.Tbl.create 4096;
-    hits = 0;
-    misses = 0 }
+    cache = Race.tracked_table ~name:"harness.cache" 4096;
+    lock = Race.create_lock "harness.lock";
+    hits = Atomic.make 0;
+    misses = Atomic.make 0 }
 
 let machine t = t.machine
 
@@ -34,30 +44,32 @@ let quantise t value =
 
 let run t experiment =
   let k = Experiment.key experiment in
-  match Experiment.Tbl.find_opt t.cache k with
-  | Some sample ->
-    t.hits <- t.hits + 1;
-    sample
-  | None ->
-    t.misses <- t.misses + 1;
-    let runs =
-      List.init t.reps (fun rep -> Machine.measure_cycles t.machine ~rep experiment)
-    in
-    let sorted = List.sort Float.compare runs in
-    let median = List.nth sorted (t.reps / 2) in
-    let low = List.nth sorted 0 in
-    let high = List.nth sorted (t.reps - 1) in
-    let len = Experiment.length experiment in
-    let spread_cpi =
-      if len = 0 then 0.0 else (high -. low) /. float_of_int len
-    in
-    let sample =
-      { cycles = quantise t median;
-        spread_cpi;
-        retired_ops = Machine.retired_ops t.machine experiment }
-    in
-    Experiment.Tbl.replace t.cache k sample;
-    sample
+  Race.with_lock t.lock (fun () ->
+      match Race.tbl_find_opt t.cache k with
+      | Some sample ->
+        Atomic.incr t.hits;
+        sample
+      | None ->
+        Atomic.incr t.misses;
+        let runs =
+          List.init t.reps (fun rep ->
+              Machine.measure_cycles t.machine ~rep experiment)
+        in
+        let sorted = List.sort Float.compare runs in
+        let median = List.nth sorted (t.reps / 2) in
+        let low = List.nth sorted 0 in
+        let high = List.nth sorted (t.reps - 1) in
+        let len = Experiment.length experiment in
+        let spread_cpi =
+          if len = 0 then 0.0 else (high -. low) /. float_of_int len
+        in
+        let sample =
+          { cycles = quantise t median;
+            spread_cpi;
+            retired_ops = Machine.retired_ops t.machine experiment }
+        in
+        Race.tbl_replace t.cache k sample;
+        sample)
 
 let cycles t experiment = (run t experiment).cycles
 
@@ -67,9 +79,12 @@ let cpi t experiment =
   Rat.div (cycles t experiment) (Rat.of_int len)
 
 let retired_ops t experiment = (run t experiment).retired_ops
-let benchmarks_run t = Experiment.Tbl.length t.cache
-let cache_hits t = t.hits
-let cache_misses t = t.misses
+
+let benchmarks_run t =
+  Race.with_lock t.lock (fun () -> Race.tbl_length t.cache)
+
+let cache_hits t = Atomic.get t.hits
+let cache_misses t = Atomic.get t.misses
 
 module Compare = struct
   let default_epsilon = Rat.of_ints 2 100

@@ -6,7 +6,12 @@
     observed CPI spread across repetitions, and the retired-ops counter.
     Results are memoised: repeated queries for the same experiment do not
     re-run the benchmark, mirroring the experiment cache of the paper's
-    artifact. *)
+    artifact.
+
+    A harness is safe to share across domains: the probe/measure/insert
+    sequence runs under a harness-wide lock (a {!Pmi_diag.Race.with_lock}
+    mutex, so the concurrency sanitizer sees the edge) and the hit/miss
+    counters are atomics. *)
 
 type sample = {
   cycles : Pmi_numeric.Rat.t;   (** median inverse throughput, quantised *)

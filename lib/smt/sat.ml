@@ -1267,6 +1267,7 @@ let pick_branch_var s =
 
 let solve_opt ?(assumptions = []) ?(stop = fun () -> false) s =
   if not s.ok then Some Unsat
+  else if stop () then None (* lost before starting: touch nothing *)
   else begin
     cancel_until s 0;
     sanitize_check s;

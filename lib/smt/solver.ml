@@ -1,3 +1,5 @@
+module Race = Pmi_diag.Race
+
 type result =
   | Sat of bool array
   | Unsat
@@ -68,22 +70,43 @@ let solve_portfolio ?(assumptions = []) ?(max_rounds = 100_000) ?domains
   if domains <= 1 then solve ~assumptions ~max_rounds ~check sat
   else begin
     let members = min domains 8 in
+    (* Sanitizer shadow locations: the parent solver (read by every clone
+       at copy time, written by the winner import below) and each clone's
+       private state.  The import must stay ordered after the race's join
+       edge — a loser writing the parent, or anything touching a clone
+       concurrently with its owner, is a race. *)
+    let parent_loc = Race.location "portfolio.parent-solver" in
+    let clone_locs =
+      Array.init members (fun i ->
+          Race.location (Printf.sprintf "portfolio.clone-%d" i))
+    in
     let rec loop round =
       if round > max_rounds then
         failwith "Smt.Solver.solve_portfolio: theory loop diverges"
       else begin
+        Race.touch_read parent_loc;
         let clones =
           Array.init members (fun i ->
               let c = Sat.copy sat in
               diversify i c;
+              Race.touch_write clone_locs.(i);
               c)
         in
         let tasks =
-          Array.map
-            (fun c stop ->
-               match Sat.solve_opt ~assumptions ~stop c with
-               | Some verdict -> Some (c, verdict)
-               | None -> None)
+          Array.mapi
+            (fun i c ->
+               fun stop ->
+                 (* A member that starts after some other member has won
+                    exits before touching its clone at all. *)
+                 if stop () then None
+                 else begin
+                   Race.touch_write clone_locs.(i);
+                   let r = Sat.solve_opt ~assumptions ~stop c in
+                   Race.touch_write clone_locs.(i);
+                   match r with
+                   | Some verdict -> Some (i, c, verdict)
+                   | None -> None
+                 end)
             clones
         in
         match Pmi_parallel.Pool.race ~domains:members tasks with
@@ -91,7 +114,9 @@ let solve_portfolio ?(assumptions = []) ?(max_rounds = 100_000) ?domains
           (* Unreachable: a member only returns [None] once some other
              member has already published a verdict. *)
           failwith "Smt.Solver.solve_portfolio: no member finished"
-        | Some (winner, verdict) ->
+        | Some (wi, winner, verdict) ->
+          Race.touch_read clone_locs.(wi);
+          Race.touch_write parent_loc;
           (* Certification: clones never log their own trace, so replay the
              winner's *entire* learnt sequence into the parent's proof
              first, in learning order.  Each clause is RUP w.r.t. the shared
