@@ -6,10 +6,21 @@
      --smoke        run every benchmark body exactly once (no bechamel)
      --only SUBSTR  keep only benchmarks whose name contains SUBSTR
                     (also skips the SAT-stat records in --json output)
-     --json FILE    write the measured results as a JSON array of
-                    {name, ns_per_run} records, followed by {name, count}
-                    records with the aggregated SAT-solver statistics of
-                    one toy CEGIS inference *)
+     --skip SUBSTR  drop benchmarks whose name contains SUBSTR (repeatable;
+                    applied after --only)
+     --json FILE    write the measured results as a schema-versioned JSON
+                    object: {schema_version; results; obs_counters} where
+                    results holds {name, ns_per_run} timing records and
+                    {name, count} SAT-solver statistics of one toy CEGIS
+                    inference, and obs_counters the telemetry counters of
+                    the same inference run traced
+     --check-regression HISTORY
+                    compare this run's timing records against the newest
+                    entry of the HISTORY file (BENCH_sat.json layout) and
+                    exit 1 if any bench regressed by more than 25%, 2 if
+                    the records are incomparable (schema_version mismatch)
+     --against FILE with --check-regression: gate the bench --json record
+                    in FILE instead of running any benchmarks *)
 
 open Bechamel
 open Toolkit
@@ -342,7 +353,19 @@ let ablation_tests =
     ("ablation/sanitize-off-portfolio", fun () -> portfolio_random_3sat ());
     ("ablation/sanitize-on-portfolio", fun () ->
         Pmi_diag.Race.enable ();
-        Fun.protect portfolio_random_3sat ~finally:Pmi_diag.Race.disable) ]
+        Fun.protect portfolio_random_3sat ~finally:Pmi_diag.Race.disable);
+    (* Telemetry: the same toy CEGIS inference with tracing off (the
+       shipping default — one predicted branch per instrumentation point,
+       so this must stay within noise of ablation/cegis-incremental-sat)
+       and on (spans into the per-domain rings, counters on atomics). *)
+    ("ablation/obs-off-cegis", fun () ->
+        ignore (cegis_toy ~symmetry_breaking:true ~max_size:4 ()));
+    ("ablation/obs-on-cegis", fun () ->
+        Pmi_obs.Obs.enable ();
+        Fun.protect
+          ~finally:Pmi_obs.Obs.disable
+          (fun () ->
+             ignore (cegis_toy ~symmetry_breaking:true ~max_size:4 ()))) ]
 
 let parallel_tests =
   [ (* The validation/prediction sweep, sequential vs the domain pool. *)
@@ -455,60 +478,144 @@ let solver_stat_records () =
     ("cegis-toy/sat-deleted", s.Sat.deleted);
     ("cegis-toy/sat-max-lbd", s.Sat.max_lbd) ]
 
+(* Telemetry counters of the same toy inference run with tracing on: the
+   obs_counters section of the JSON record, a second canary family
+   (question-asking volume rather than solver policy). *)
+let obs_counter_records () =
+  Pmi_obs.Obs.enable ();
+  Fun.protect
+    ~finally:Pmi_obs.Obs.disable
+    (fun () -> ignore (cegis_toy ~symmetry_breaking:true ~max_size:4 ()));
+  Pmi_obs.Obs.counters ()
+
+module Gj = Pmi_obs.Json
+
+(* The schema-versioned bench record (see Pmi_obs.Gate): bumping the layout
+   means bumping [Gate.schema_version], which makes old and new records
+   incomparable rather than silently misread. *)
 let emit_json ?(with_stats = true) path results =
   let stats = if with_stats then solver_stat_records () else [] in
+  let obs = if with_stats then obs_counter_records () else [] in
+  let timing (name, ns) =
+    Gj.Obj [ ("name", Gj.Str name); ("ns_per_run", Gj.Num ns) ]
+  in
+  let count (name, c) =
+    Gj.Obj [ ("name", Gj.Str name); ("count", Gj.Num (float_of_int c)) ]
+  in
+  let record =
+    Gj.Obj
+      [ ("schema_version", Gj.Num (float_of_int Pmi_obs.Gate.schema_version));
+        ("results", Gj.List (List.map timing results @ List.map count stats));
+        ("obs_counters", Gj.List (List.map count obs)) ]
+  in
   let oc = open_out path in
-  output_string oc "[\n";
-  let n = List.length results + List.length stats in
-  List.iteri
-    (fun i (name, ns) ->
-       Printf.fprintf oc "  { \"name\": %S, \"ns_per_run\": %.1f }%s\n" name ns
-         (if i < n - 1 then "," else ""))
-    results;
-  List.iteri
-    (fun i (name, count) ->
-       Printf.fprintf oc "  { \"name\": %S, \"count\": %d }%s\n" name count
-         (if List.length results + i < n - 1 then "," else ""))
-    stats;
-  output_string oc "]\n";
+  output_string oc (Gj.to_string record);
+  output_string oc "\n";
   close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The regression gate: this run (or [--against FILE]) vs the newest entry
+   of a BENCH_sat.json-style history file.  Exit codes: 0 clean, 1
+   regressed, 2 incomparable or unreadable. *)
+let check_regression ~history ~against results =
+  let module Gate = Pmi_obs.Gate in
+  let baseline =
+    try Gate.latest_history_entry (read_file history)
+    with Sys_error msg -> Error msg
+  in
+  let current =
+    match against with
+    | Some file ->
+      (try Gate.parse_run (read_file file) with Sys_error msg -> Error msg)
+    | None ->
+      Ok
+        { Gate.version = Some Gate.schema_version;
+          records =
+            List.map
+              (fun (name, ns) ->
+                 { Gate.name; ns_per_run = Some ns; count = None })
+              results }
+  in
+  match (baseline, current) with
+  | Error msg, _ ->
+    Printf.eprintf "check-regression: cannot read baseline %s: %s\n" history
+      msg;
+    exit 2
+  | _, Error msg ->
+    Printf.eprintf "check-regression: cannot read current run: %s\n" msg;
+    exit 2
+  | Ok baseline, Ok current ->
+    (match Gate.compare_runs ~baseline ~current () with
+     | Error msg ->
+       Printf.eprintf "check-regression: %s\n" msg;
+       exit 2
+     | Ok verdicts ->
+       print_string (Gate.report verdicts);
+       if Gate.regressions verdicts <> [] then exit 1)
 
 let () =
   let smoke_mode = ref false in
   let json = ref None in
   let only = ref None in
+  let skips = ref [] in
+  let regression = ref None in
+  let against = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> smoke_mode := true; parse rest
     | "--json" :: file :: rest -> json := Some file; parse rest
     | "--only" :: substr :: rest -> only := Some substr; parse rest
+    | "--skip" :: substr :: rest -> skips := substr :: !skips; parse rest
+    | "--check-regression" :: file :: rest -> regression := Some file; parse rest
+    | "--against" :: file :: rest -> against := Some file; parse rest
     | arg :: _ ->
       Printf.eprintf
-        "usage: %s [--smoke] [--only SUBSTR] [--json FILE]\nunknown argument %s\n"
+        "usage: %s [--smoke] [--only SUBSTR] [--skip SUBSTR]... [--json FILE] \
+         [--check-regression HISTORY [--against FILE]]\nunknown argument %s\n"
         Sys.argv.(0) arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let driver = if !smoke_mode then smoke else benchmark in
-  let contains hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
-    at 0
-  in
-  let keep name = match !only with None -> true | Some s -> contains name s in
-  let results =
-    List.concat_map
-      (fun (title, tests) ->
-         match List.filter (fun (name, _) -> keep name) tests with
-         | [] -> []
-         | tests ->
-           Format.printf "== %s ==@." title;
-           let rs = driver tests in
-           Format.printf "@.";
-           rs)
-      sections
-  in
-  (match !json with
-   | None -> ()
-   | Some path -> emit_json ~with_stats:(!only = None) path results);
-  Format.printf "done.@."
+  match (!regression, !against) with
+  | Some history, (Some _ as against) ->
+    (* Pure gate mode: both sides come from files, nothing runs. *)
+    check_regression ~history ~against []
+  | regression, _ ->
+    let driver = if !smoke_mode then smoke else benchmark in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i =
+        i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+      in
+      at 0
+    in
+    let keep name =
+      (match !only with None -> true | Some s -> contains name s)
+      && not (List.exists (contains name) !skips)
+    in
+    let results =
+      List.concat_map
+        (fun (title, tests) ->
+           match List.filter (fun (name, _) -> keep name) tests with
+           | [] -> []
+           | tests ->
+             Format.printf "== %s ==@." title;
+             let rs = driver tests in
+             Format.printf "@.";
+             rs)
+        sections
+    in
+    (match !json with
+     | None -> ()
+     | Some path ->
+       emit_json ~with_stats:(!only = None && !skips = []) path results);
+    (match regression with
+     | None -> Format.printf "done.@."
+     | Some history ->
+       Format.printf "done.@.";
+       check_regression ~history ~against:None results)

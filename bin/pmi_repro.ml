@@ -21,6 +21,27 @@ let make_harness ~reduced ~seed =
   let config = { Machine.default_config with Machine.seed } in
   Harness.create (Machine.create ~config catalog)
 
+module Obs = Pmi_obs.Obs
+
+(* [--trace FILE] / [--metrics]: switch the telemetry layer on before the
+   command body runs and flush the exporters at exit.  The flush is an
+   [at_exit] hook because several subcommands (lint, sanitize) leave via
+   [exit] rather than by returning. *)
+let setup_obs ~trace ~metrics =
+  if trace <> None || metrics then begin
+    Obs.enable ();
+    at_exit (fun () ->
+        Obs.disable ();
+        (match trace with
+         | Some file ->
+           Obs.write_chrome_trace file;
+           Format.eprintf "pmi_repro: wrote %d trace events to %s@."
+             (List.length (Obs.events ()))
+             file
+         | None -> ());
+        if metrics then prerr_string (Obs.summary ()))
+  end
+
 (* Set once from the command line (see [with_logs]) before any pipeline
    run; [None] leaves the CEGIS solvers silent. *)
 let cnf_prefix = ref None
@@ -179,6 +200,44 @@ let print_figure5 reduced (harness, result) =
   Format.printf "%a@." Pmi_eval.Figure5.pp fig
 
 let figure5 reduced seed = print_figure5 reduced (run_pipeline ~reduced ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Infer: the CEGIS loop itself, front and center                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The subcommand exists mostly for telemetry: [pmi_repro infer --trace
+   out.json] yields a Perfetto-loadable timeline whose cegis.iteration
+   spans show the findMapping / findOtherMapping / distinguish / observe
+   cadence of the whole dialogue.  The textual output is the CEGIS digest
+   the other reproduction commands only print in passing. *)
+let infer reduced seed =
+  let _, result = run_pipeline ~reduced ~seed in
+  Format.printf "@.== CEGIS inference ==@.";
+  Format.printf "inferred port usage for %d schemes@."
+    (Mapping.size result.Pipeline.mapping);
+  (match result.Pipeline.cegis_stats with
+   | None -> Format.printf "no CEGIS statistics recorded@."
+   | Some stats ->
+     Format.printf
+       "CEGIS: %d iterations, %d experiments, %d candidate mappings, %d \
+        lemmas@."
+       stats.Pmi_core.Cegis.iterations
+       (List.length stats.Pmi_core.Cegis.observations)
+       stats.Pmi_core.Cegis.candidates_tried
+       stats.Pmi_core.Cegis.theory_lemmas;
+     let s = stats.Pmi_core.Cegis.sat in
+     Format.printf
+       "SAT:   %d decisions, %d propagations, %d conflicts, %d restarts, \
+        %d learned (max glue %d), %d deleted by reduction@."
+       s.Pmi_smt.Sat.decisions s.Pmi_smt.Sat.propagations
+       s.Pmi_smt.Sat.conflicts s.Pmi_smt.Sat.restarts
+       s.Pmi_smt.Sat.learned s.Pmi_smt.Sat.max_lbd s.Pmi_smt.Sat.deleted);
+  if Obs.enabled () then
+    Format.printf
+      "telemetry: %d events recorded so far (%d dropped); see --trace / \
+       --metrics@."
+      (List.length (Obs.events ()))
+      (Obs.dropped ())
 
 (* ------------------------------------------------------------------ *)
 (* Export / analyze: the downstream-tool workflow                      *)
@@ -607,8 +666,22 @@ let certify_flag =
              throughput oracle.  A certificate failure aborts the run." in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
-let with_logs f reduced seed verbose dump_cnf certify_opt =
+let trace_out =
+  let doc = "Record a telemetry trace of the run (CEGIS iterations, solver \
+             calls, oracle searches, harness measurements) and write it to \
+             $(docv) in Chrome trace format, loadable in Perfetto or \
+             chrome://tracing." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics =
+  let doc = "Print a telemetry summary (span tree with call counts and \
+             self times, counters, gauges) to stderr when the command \
+             finishes." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let with_logs f reduced seed verbose dump_cnf certify_opt trace metrics =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
+  setup_obs ~trace ~metrics;
   cnf_prefix := dump_cnf;
   certify := certify_opt;
   f reduced seed
@@ -616,7 +689,7 @@ let with_logs f reduced seed verbose dump_cnf certify_opt =
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf
-          $ certify_flag)
+          $ certify_flag $ trace_out $ metrics)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -629,6 +702,10 @@ let () =
             cmd "table2" "Reproduce Table 2 (inferred port usage)" table2;
             cmd "figure5" "Reproduce Figure 5 (prediction accuracy)" figure5;
             cmd "all" "Reproduce every table and figure" all;
+            cmd "infer"
+              "Run the CEGIS inference and print its statistics (pair with \
+               --trace/--metrics for a full telemetry timeline)"
+              infer;
             cmd "export" "Infer the port mapping and write it to a file" export;
             cmd "diff" "Compare the inferred mapping with the documentation" diff;
             cmd "report" "Write a markdown report of the whole study" report;
@@ -639,11 +716,12 @@ let () =
              Cmd.v
                (Cmd.info "analyze"
                   ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
-               Term.(const (fun insns reduced seed verbose dump_cnf certify ->
+               Term.(const (fun insns reduced seed verbose dump_cnf certify
+                             trace metrics ->
                    with_logs (analyze_block insns) reduced seed verbose
-                     dump_cnf certify)
+                     dump_cnf certify trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag));
+                     $ certify_flag $ trace_out $ metrics));
             (let insns =
                let doc = "Instruction scheme (name or unique prefix); repeatable." in
                Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
@@ -652,11 +730,12 @@ let () =
                (Cmd.info "explain"
                   ~doc:"Show the explanatory microbenchmarks behind a scheme's \
                         inferred port usage")
-               Term.(const (fun insns reduced seed verbose dump_cnf certify ->
+               Term.(const (fun insns reduced seed verbose dump_cnf certify
+                             trace metrics ->
                    with_logs (explain_scheme insns) reduced seed verbose
-                     dump_cnf certify)
+                     dump_cnf certify trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag));
+                     $ certify_flag $ trace_out $ metrics));
             (let files =
                let doc = "Port-mapping file(s) in the export format, linted \
                           in addition to the built-in profiles, catalog and \
@@ -673,11 +752,12 @@ let () =
                   ~doc:"Lint the built-in machine profiles, catalog and \
                         ground-truth mappings (plus optional mapping files); \
                         exits non-zero on any error-severity diagnostic")
-               Term.(const (fun files json reduced seed verbose dump_cnf certify ->
+               Term.(const (fun files json reduced seed verbose dump_cnf
+                             certify trace metrics ->
                    with_logs (lint_files files json) reduced seed verbose
-                     dump_cnf certify)
+                     dump_cnf certify trace metrics)
                      $ files $ json $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag));
+                     $ certify_flag $ trace_out $ metrics));
             (let schedules =
                let doc = "Number of deterministic replay schedules to shake \
                           each parallel workload through (capped at the \
@@ -704,8 +784,8 @@ let () =
                         deterministic schedule replay; exits non-zero on any \
                         data race")
                Term.(const (fun schedules plant json reduced seed verbose
-                             dump_cnf certify ->
+                             dump_cnf certify trace metrics ->
                    with_logs (sanitize schedules plant json) reduced seed
-                     verbose dump_cnf certify)
+                     verbose dump_cnf certify trace metrics)
                      $ schedules $ plant $ json $ reduced $ seed $ verbose
-                     $ dump_cnf $ certify_flag)) ]))
+                     $ dump_cnf $ certify_flag $ trace_out $ metrics)) ]))

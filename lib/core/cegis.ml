@@ -7,6 +7,15 @@ module Oracle = Pmi_portmap.Oracle
 module Pool = Pmi_parallel.Pool
 module Solver = Pmi_smt.Solver
 module Race = Pmi_diag.Race
+module Obs = Pmi_obs.Obs
+
+(* Telemetry counters: the CEGIS-level tallies a [--metrics] run reports
+   next to the per-iteration spans.  All process-wide; [stats] keeps the
+   per-run numbers. *)
+let c_lemmas = Obs.counter "cegis.theory_lemmas"
+let c_certificates = Obs.counter "cegis.certificates_checked"
+let c_candidates = Obs.counter "cegis.candidates_tried"
+let c_observations = Obs.counter "cegis.observations"
 
 (* Sanitizer shadow locations for the two Vecs every CEGIS phase shares:
    the observation log (read by parallel validation sweeps, written only
@@ -112,7 +121,10 @@ let theory_check config encoding observations pool model =
            :: !lemmas)
     observations;
   let lemmas = List.rev !lemmas in
-  if lemmas <> [] then Race.touch_write lemma_loc;
+  if lemmas <> [] then begin
+    Race.touch_write lemma_loc;
+    Obs.add c_lemmas (List.length lemmas)
+  end;
   List.iter (Vec.push pool) lemmas;
   lemmas
 
@@ -145,6 +157,7 @@ let solve_sub config ?assumptions ~check sat =
    derivation and finally requires the goal itself to be RUP. *)
 let certify_unsat config ?(assumptions = []) sat =
   if config.certify then begin
+    Obs.incr c_certificates;
     if not (Pmi_smt.Sat.proof_logging sat) then
       raise
         (Certification_failure
@@ -169,6 +182,7 @@ let certify_unsat config ?(assumptions = []) sat =
    memoized fast path the search itself uses. *)
 let certify_sat config encoding observations model =
   if config.certify then begin
+    Obs.incr c_certificates;
     let sat = Encoding.sat encoding in
     (match Pmi_analysis.Drat.validate_model ~model (Pmi_smt.Sat.proof sat) with
      | Ok () -> ()
@@ -209,10 +223,11 @@ let certified_solve config encoding observations ?assumptions ~check () =
   verdict
 
 let find_mapping config encoding observations pool =
-  let check = theory_check config encoding observations pool in
-  match certified_solve config encoding observations ~check () with
-  | Solver.Sat model -> Some (Encoding.decode encoding model)
-  | Solver.Unsat -> None
+  Obs.span "cegis.find_mapping" (fun () ->
+      let check = theory_check config encoding observations pool in
+      match certified_solve config encoding observations ~check () with
+      | Solver.Sat model -> Some (Encoding.decode encoding model)
+      | Solver.Unsat -> None)
 
 (* Multisets of the given schemes, enumerated in order of increasing size
    (the stratified search of §3.3.4), smallest first. *)
@@ -291,8 +306,9 @@ let search_stratum config o1 o2 schemes ~size ~abort =
 
 let distinguishing_memoized config o1 o2 schemes =
   let arr = Array.of_list schemes in
-  Oracle.prepare o1 schemes;
-  Oracle.prepare o2 schemes;
+  Obs.span "oracle.prepare" (fun () ->
+      Oracle.prepare o1 schemes;
+      Oracle.prepare o2 schemes);
   if config.domains > 1 && config.max_experiment_size > 1 then begin
     (* One domain per size stratum; every stratum reports its first hit in
        enumeration order and the smallest stratum wins, so the result is
@@ -333,27 +349,29 @@ let distinguishing_memoized config o1 o2 schemes =
   end
 
 let distinguishing_experiment config m1 m2 schemes =
-  let oracles =
-    if config.memoized_oracle then
-      match (Oracle.create m1, Oracle.create m2) with
-      | o1, o2 -> Some (o1, o2)
-      | exception Invalid_argument _ -> None
-    else None
-  in
-  match oracles with
-  | Some (o1, o2) -> distinguishing_memoized config o1 o2 schemes
-  | None ->
-    let sep =
-      Pmi_measure.Harness.Compare.well_separated ~epsilon:config.epsilon
-    in
-    (match
-       iter_experiments schemes ~max_size:config.max_experiment_size (fun e ->
-           let t1 = modeled_inverse config m1 e in
-           let t2 = modeled_inverse config m2 e in
-           if sep ~length:(Experiment.length e) t1 t2 then raise (Found e))
-     with
-     | () -> None
-     | exception Found e -> Some e)
+  Obs.span "cegis.distinguish" (fun () ->
+      let oracles =
+        if config.memoized_oracle then
+          match (Oracle.create m1, Oracle.create m2) with
+          | o1, o2 -> Some (o1, o2)
+          | exception Invalid_argument _ -> None
+        else None
+      in
+      match oracles with
+      | Some (o1, o2) -> distinguishing_memoized config o1 o2 schemes
+      | None ->
+        let sep =
+          Pmi_measure.Harness.Compare.well_separated ~epsilon:config.epsilon
+        in
+        (match
+           iter_experiments schemes ~max_size:config.max_experiment_size
+             (fun e ->
+                let t1 = modeled_inverse config m1 e in
+                let t2 = modeled_inverse config m2 e in
+                if sep ~length:(Experiment.length e) t1 t2 then raise (Found e))
+         with
+         | () -> None
+         | exception Found e -> Some e))
 
 let same_mapping specs m1 m2 =
   List.for_all
@@ -386,6 +404,8 @@ let sync_lemmas state pool =
    is assumed during the call and retired with a unit clause afterwards. *)
 let find_other_mapping_incremental config state specs observations pool m1
     tried_counter =
+  Obs.span ~args:[ ("mode", Obs.Str "incremental") ] "cegis.find_other_mapping"
+  @@ fun () ->
   sync_lemmas state pool;
   let encoding = state.o_encoding in
   let sat = Encoding.sat encoding in
@@ -405,6 +425,7 @@ let find_other_mapping_incremental config state specs observations pool m1
       | Solver.Unsat -> None
       | Solver.Sat model ->
         incr tried_counter;
+        Obs.incr c_candidates;
         let m2 = Encoding.decode encoding model in
         if same_mapping specs m1 m2 then begin
           Pmi_smt.Sat.add_clause sat
@@ -434,6 +455,8 @@ let find_other_mapping_incremental config state specs observations pool m1
    per-run statistics stay comparable with the incremental path. *)
 let find_other_mapping_fresh config specs observations pool m1 tried_counter
     sat_acc =
+  Obs.span ~args:[ ("mode", Obs.Str "fresh") ] "cegis.find_other_mapping"
+  @@ fun () ->
   let encoding = fresh_encoding config specs pool in
   let sat = Encoding.sat encoding in
   let check = theory_check config encoding observations pool in
@@ -449,6 +472,7 @@ let find_other_mapping_fresh config specs observations pool m1 tried_counter
       | Solver.Unsat -> None
       | Solver.Sat model ->
         incr tried_counter;
+        Obs.incr c_candidates;
         let m2 = Encoding.decode encoding model in
         if same_mapping specs m1 m2 then begin
           Pmi_smt.Sat.add_clause sat (Encoding.block_model encoding model);
@@ -509,6 +533,7 @@ let dump_cnf_file sat file =
     Log.warn (fun m -> m "could not dump CNF: %s" msg)
 
 let explain ?(config = default_config) ~specs ~observations () =
+  Obs.span "cegis.explain" @@ fun () ->
   let pool = Vec.create () in
   let obs = Vec.create () in
   List.iter (Vec.push obs) observations;
@@ -520,10 +545,14 @@ let explain ?(config = default_config) ~specs ~observations () =
   result
 
 let infer ?(config = default_config) ~measure ~specs () =
+  Obs.span "cegis.infer" @@ fun () ->
   let pool = Vec.create () in
   let observations = Vec.create () in
   let observe experiment =
-    let cycles = measure experiment in
+    let cycles =
+      Obs.span "cegis.observe" (fun () -> measure experiment)
+    in
+    Obs.incr c_observations;
     let obs = { experiment; cycles } in
     Race.touch_write obs_loc;
     Vec.push observations obs;
@@ -595,6 +624,8 @@ let infer ?(config = default_config) ~measure ~specs () =
   in
   let sweep = Array.of_list (validation_experiments specs) in
   let validate m1 =
+    Obs.span ~args:[ ("sweep", Obs.Int (Array.length sweep)) ] "cegis.validate"
+    @@ fun () ->
     (* The first sweep experiment the converged mapping fails to explain;
        [None] means the convergence is confirmed.  Only one refutation is
        reported per round so that an UNSAT can be traced to a single
@@ -631,31 +662,50 @@ let infer ?(config = default_config) ~measure ~specs () =
     end
     else Array.find_opt failing sweep
   in
+  (* One CEGIS iteration under its own span; [None] means "not settled,
+     go around again".  Keeping the iteration body out of the recursion
+     makes the spans siblings in the trace — iteration 57 is a peer of
+     iteration 1, not buried 56 frames deep. *)
+  let step iteration =
+    Obs.span
+      ~args:[ ("iteration", Obs.Int iteration) ]
+      "cegis.iteration"
+      (fun () ->
+         match find_mapping config fm_encoding observations pool with
+         | None ->
+           Some
+             (finish (fun s ->
+                  No_consistent_mapping { s with iterations = iteration }))
+         | Some m1 ->
+           (match find_other m1 tried with
+            | None ->
+              (match validate m1 with
+               | None ->
+                 Some
+                   (finish (fun s ->
+                        Converged (m1, { s with iterations = iteration })))
+               | Some failure ->
+                 Log.info (fun m ->
+                     m "iteration %d: validation experiment %s refutes the \
+                        converged mapping" iteration
+                       (Experiment.to_string failure));
+                 ignore (observe failure);
+                 None)
+            | Some (_, new_exp) ->
+              let obs = observe new_exp in
+              Log.info (fun m ->
+                  m "iteration %d: new experiment %s measured at %s cycles"
+                    iteration
+                    (Experiment.to_string new_exp)
+                    (Rat.to_string obs.cycles));
+              None))
+  in
   let rec loop iteration =
     if iteration > config.max_iterations then
       finish (fun s -> Iteration_limit { s with iterations = iteration - 1 })
-    else begin
-      match find_mapping config fm_encoding observations pool with
-      | None -> finish (fun s -> No_consistent_mapping { s with iterations = iteration })
-      | Some m1 ->
-        (match find_other m1 tried with
-         | None ->
-           (match validate m1 with
-            | None -> finish (fun s -> Converged (m1, { s with iterations = iteration }))
-            | Some failure ->
-              Log.info (fun m ->
-                  m "iteration %d: validation experiment %s refutes the \
-                     converged mapping" iteration (Experiment.to_string failure));
-              ignore (observe failure);
-              loop (iteration + 1))
-         | Some (_, new_exp) ->
-           let obs = observe new_exp in
-           Log.info (fun m ->
-               m "iteration %d: new experiment %s measured at %s cycles"
-                 iteration
-                 (Experiment.to_string new_exp)
-                 (Rat.to_string obs.cycles));
-           loop (iteration + 1))
-    end
+    else
+      match step iteration with
+      | Some outcome -> outcome
+      | None -> loop (iteration + 1)
   in
   loop 1

@@ -221,8 +221,11 @@ let amplitude t experiment =
   then t.config.unstable_amplitude
   else t.config.noise_amplitude
 
+let c_measurements = Pmi_obs.Obs.counter "machine.measurements"
+
 let measure_cycles t ~rep experiment =
   Atomic.incr t.measurements;
+  Pmi_obs.Obs.incr c_measurements;
   let base = Rat.to_float (true_inverse t experiment) in
   let amp = amplitude t experiment in
   if amp = 0.0 then base

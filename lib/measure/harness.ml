@@ -2,6 +2,13 @@ module Rat = Pmi_numeric.Rat
 module Experiment = Pmi_portmap.Experiment
 module Machine = Pmi_machine.Machine
 module Race = Pmi_diag.Race
+module Obs = Pmi_obs.Obs
+
+(* Telemetry counters (process-wide, not per-harness: a trace wants the
+   aggregate question-asking cost of the whole run, and per-harness
+   hit/miss stays available via [cache_hits]/[cache_misses]). *)
+let c_cache_hits = Obs.counter "harness.cache.hits"
+let c_cache_misses = Obs.counter "harness.cache.misses"
 
 type sample = {
   cycles : Rat.t;
@@ -48,28 +55,31 @@ let run t experiment =
       match Race.tbl_find_opt t.cache k with
       | Some sample ->
         Atomic.incr t.hits;
+        Obs.incr c_cache_hits;
         sample
       | None ->
         Atomic.incr t.misses;
-        let runs =
-          List.init t.reps (fun rep ->
-              Machine.measure_cycles t.machine ~rep experiment)
-        in
-        let sorted = List.sort Float.compare runs in
-        let median = List.nth sorted (t.reps / 2) in
-        let low = List.nth sorted 0 in
-        let high = List.nth sorted (t.reps - 1) in
-        let len = Experiment.length experiment in
-        let spread_cpi =
-          if len = 0 then 0.0 else (high -. low) /. float_of_int len
-        in
-        let sample =
-          { cycles = quantise t median;
-            spread_cpi;
-            retired_ops = Machine.retired_ops t.machine experiment }
-        in
-        Race.tbl_replace t.cache k sample;
-        sample)
+        Obs.incr c_cache_misses;
+        Obs.span "harness.measure" (fun () ->
+            let runs =
+              List.init t.reps (fun rep ->
+                  Machine.measure_cycles t.machine ~rep experiment)
+            in
+            let sorted = List.sort Float.compare runs in
+            let median = List.nth sorted (t.reps / 2) in
+            let low = List.nth sorted 0 in
+            let high = List.nth sorted (t.reps - 1) in
+            let len = Experiment.length experiment in
+            let spread_cpi =
+              if len = 0 then 0.0 else (high -. low) /. float_of_int len
+            in
+            let sample =
+              { cycles = quantise t median;
+                spread_cpi;
+                retired_ops = Machine.retired_ops t.machine experiment }
+            in
+            Race.tbl_replace t.cache k sample;
+            sample))
 
 let cycles t experiment = (run t experiment).cycles
 

@@ -1,0 +1,244 @@
+(* A minimal JSON tree, parser and printer.
+
+   Just enough for the observability stack: the Chrome-trace exporter and
+   the bench --json writer need escaping-correct printing, and the
+   bench-regression gate and the @obs tests need to read those files back.
+   No dependency beyond the stdlib; numbers are floats (every number this
+   repo writes fits), strings are byte sequences with \uXXXX decoded to
+   UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> number_to buf f
+  | Str s -> escape_to buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ',';
+         to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         escape_to buf k;
+         Buffer.add_char buf ':';
+         to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Fail of string * int
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, found %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let utf8_add buf code =
+    (* Encode one Unicode scalar (surrogates already combined). *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); Buffer.contents buf
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | None -> fail "truncated escape"
+         | Some c ->
+           advance ();
+           (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+              let hi = hex4 () in
+              if hi >= 0xD800 && hi <= 0xDBFF then begin
+                (* Surrogate pair. *)
+                expect '\\';
+                expect 'u';
+                let lo = hex4 () in
+                if lo < 0xDC00 || lo > 0xDFFF then fail "invalid surrogate pair";
+                utf8_add buf
+                  (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+              end
+              else utf8_add buf hi
+            | c -> fail (Printf.sprintf "invalid escape \\%c" c)));
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> true
+      | Some _ | None -> false
+    in
+    while numeric () do advance () done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | Some _ | None -> fail "expected , or } in object"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); List [])
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); items (v :: acc)
+          | Some ']' -> advance (); List (List.rev (v :: acc))
+          | Some _ | None -> fail "expected , or ] in array"
+        in
+        items []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Fail (msg, p) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" p msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Num _ | Str _ | List _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_int = function Num f when Float.is_integer f -> Some (int_of_float f) | _ -> None
+let to_str = function Str s -> Some s | _ -> None

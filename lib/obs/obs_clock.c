@@ -1,0 +1,17 @@
+/* Monotonic clock primitive for Pmi_obs.
+ *
+ * One C call, no OCaml allocation: the timestamp is returned as a tagged
+ * immediate (63-bit nanoseconds wrap after ~146 years of uptime).  Kept as
+ * a stub of our own so the telemetry library depends on nothing outside
+ * the compiler distribution. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value pmi_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

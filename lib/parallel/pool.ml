@@ -22,6 +22,7 @@
      small task sets can be shaken through all n! orders. *)
 
 module Race = Pmi_diag.Race
+module Obs = Pmi_obs.Obs
 
 let env_domains = "PMI_DOMAINS"
 
@@ -117,8 +118,9 @@ let run_workers ~domains body =
     let handles = Array.init domains (fun _ -> Race.fork ~name:"worker" ()) in
     let guarded i () =
       Race.with_thread handles.(i) (fun () ->
-          try body () with
-          | e -> ignore (Atomic.compare_and_set error None (Some e)))
+          Obs.span ~args:[ ("worker", Obs.Int i) ] "pool.worker" (fun () ->
+              try body () with
+              | e -> ignore (Atomic.compare_and_set error None (Some e))))
     in
     let spawned =
       Array.init (domains - 1) (fun i -> Domain.spawn (guarded (i + 1)))
@@ -146,16 +148,20 @@ let parallel_for ?domains ~n f =
       else begin
         let chunk = chunk_for ~items:n ~domains in
         let next = Race.tracked_atomic ~name:"pool.cursor" 0 in
-        run_workers ~domains (fun () ->
-            let rec loop () =
-              let start = Race.afetch_add next chunk in
-              if start < n then begin
-                let stop = min n (start + chunk) in
-                for i = start to stop - 1 do f i done;
-                loop ()
-              end
-            in
-            loop ())
+        Obs.span
+          ~args:[ ("items", Obs.Int n); ("domains", Obs.Int domains) ]
+          "pool.parallel_for"
+          (fun () ->
+             run_workers ~domains (fun () ->
+                 let rec loop () =
+                   let start = Race.afetch_add next chunk in
+                   if start < n then begin
+                     let stop = min n (start + chunk) in
+                     for i = start to stop - 1 do f i done;
+                     loop ()
+                   end
+                 in
+                 loop ()))
       end
 
 let map_array ?domains f arr =
@@ -210,11 +216,15 @@ let race ?domains tasks =
       else begin
         let winner = Race.tracked_atomic ~name:"pool.race.winner" None in
         let stop () = Race.aget winner <> None in
-        parallel_for ~domains ~n (fun i ->
-            if not (stop ()) then
-              match tasks.(i) stop with
-              | Some _ as r -> ignore (Race.acas winner None r)
-              | None -> ());
+        Obs.span
+          ~args:[ ("tasks", Obs.Int n); ("domains", Obs.Int domains) ]
+          "pool.race"
+          (fun () ->
+             parallel_for ~domains ~n (fun i ->
+                 if not (stop ()) then
+                   match tasks.(i) stop with
+                   | Some _ as r -> ignore (Race.acas winner None r)
+                   | None -> ()));
         Race.aget winner
       end
 

@@ -1,8 +1,53 @@
 module Race = Pmi_diag.Race
+module Obs = Pmi_obs.Obs
 
 type result =
   | Sat of bool array
   | Unsat
+
+(* Span args summarizing what a solver did between two [Sat.stats]
+   snapshots — the "what did this call cost" payload on every sat.solve
+   span in a trace. *)
+let stats_args ?(extra = []) (before : Sat.stats) (after : Sat.stats) =
+  [ ("decisions", Obs.Int (after.Sat.decisions - before.Sat.decisions));
+    ("propagations",
+     Obs.Int (after.Sat.propagations - before.Sat.propagations));
+    ("conflicts", Obs.Int (after.Sat.conflicts - before.Sat.conflicts));
+    ("restarts", Obs.Int (after.Sat.restarts - before.Sat.restarts));
+    ("learned", Obs.Int (after.Sat.learned - before.Sat.learned)) ]
+  @ extra
+
+(* [sat_span name sat f]: a span around one CDCL call whose closing args
+   carry the stats delta on [sat].  One atomic-load branch when tracing is
+   off. *)
+let sat_span ?args name sat f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let before = Sat.stats sat in
+    let frame = Obs.enter ?args name in
+    match f () with
+    | r ->
+      Obs.leave ~args:(stats_args before (Sat.stats sat)) frame;
+      r
+    | exception e ->
+      Obs.leave ~args:[ ("exn", Obs.Str (Printexc.to_string e)) ] frame;
+      raise e
+  end
+
+(* A span around one theory-check callback, closing with the number of
+   lemmas the theory pushed back. *)
+let theory_span check model =
+  if not (Obs.enabled ()) then check model
+  else begin
+    let frame = Obs.enter "theory.check" in
+    match check model with
+    | lemmas ->
+      Obs.leave ~args:[ ("lemmas", Obs.Int (List.length lemmas)) ] frame;
+      lemmas
+    | exception e ->
+      Obs.leave ~args:[ ("exn", Obs.Str (Printexc.to_string e)) ] frame;
+      raise e
+  end
 
 let falsified_by model lits =
   List.for_all
@@ -15,10 +60,10 @@ let solve ?(assumptions = []) ?(max_rounds = 100_000) ~check sat =
   let rec loop round =
     if round > max_rounds then failwith "Smt.Solver.solve: theory loop diverges"
     else begin
-      match Sat.solve ~assumptions sat with
+      match sat_span "sat.solve" sat (fun () -> Sat.solve ~assumptions sat) with
       | Sat.Unsat -> Unsat
       | Sat.Sat model ->
-        (match check model with
+        (match theory_span check model with
          | [] -> Sat model
          | lemmas ->
            (* Progress guard: the rejected model must violate some lemma.
@@ -80,10 +125,26 @@ let solve_portfolio ?(assumptions = []) ?(max_rounds = 100_000) ?domains
       Array.init members (fun i ->
           Race.location (Printf.sprintf "portfolio.clone-%d" i))
     in
-    let rec loop round =
-      if round > max_rounds then
-        failwith "Smt.Solver.solve_portfolio: theory loop diverges"
-      else begin
+    (* One portfolio round; [None] means the theory rejected the model and
+       added lemmas, so the caller should go around again.  Keeping the
+       round in its own function lets the "sat.portfolio" span close
+       before the next round opens — rounds are siblings in the trace,
+       not a nest of max_rounds frames. *)
+    let solve_round round =
+      let round_frame =
+        if not (Obs.enabled ()) then None
+        else
+          Some
+            (Obs.enter
+               ~args:[ ("round", Obs.Int round); ("members", Obs.Int members) ]
+               "sat.portfolio")
+      in
+      let close_round args =
+        match round_frame with
+        | None -> ()
+        | Some frame -> Obs.leave ~args frame
+      in
+      match
         Race.touch_read parent_loc;
         let clones =
           Array.init members (fun i ->
@@ -101,7 +162,12 @@ let solve_portfolio ?(assumptions = []) ?(max_rounds = 100_000) ?domains
                  if stop () then None
                  else begin
                    Race.touch_write clone_locs.(i);
-                   let r = Sat.solve_opt ~assumptions ~stop c in
+                   let r =
+                     sat_span
+                       ~args:[ ("member", Obs.Int i) ]
+                       "sat.portfolio.member" c
+                       (fun () -> Sat.solve_opt ~assumptions ~stop c)
+                   in
                    Race.touch_write clone_locs.(i);
                    match r with
                    | Some verdict -> Some (i, c, verdict)
@@ -131,21 +197,47 @@ let solve_portfolio ?(assumptions = []) ?(max_rounds = 100_000) ?domains
           (* Fold the winner's work back into the persistent encoding: its
              low-glue learnt clauses (all implied by the clause database
              alone, so safe to keep) and its search counters. *)
+          let imported = ref 0 in
           List.iter
             (fun (lbd, lits) ->
-               if lbd <= import_lbd_limit then Sat.add_learnt sat ~lbd lits)
+               if lbd <= import_lbd_limit then begin
+                 incr imported;
+                 Sat.add_learnt sat ~lbd lits
+               end)
             winner_learnts;
           Sat.absorb_stats sat winner;
+          let round_args lemmas =
+            [ ("winner", Obs.Int wi);
+              ("learnt_imported", Obs.Int !imported);
+              ("lemmas", Obs.Int lemmas) ]
+          in
           (match verdict with
-           | Sat.Unsat -> Unsat
+           | Sat.Unsat ->
+             close_round (round_args 0);
+             Some Unsat
            | Sat.Sat model ->
-             (match check model with
-              | [] -> Sat model
+             (match theory_span check model with
+              | [] ->
+                close_round (round_args 0);
+                Some (Sat model)
               | lemmas ->
                 assert (List.exists (falsified_by model) lemmas);
                 List.iter (Sat.add_clause sat) lemmas;
-                loop (round + 1)))
-      end
+                close_round (round_args (List.length lemmas));
+                None))
+      with
+      | outcome -> outcome
+      | exception e ->
+        close_round [ ("exn", Obs.Str (Printexc.to_string e)) ];
+        raise e
+    in
+    let rec loop round =
+      if round > max_rounds then
+        failwith "Smt.Solver.solve_portfolio: theory loop diverges"
+      else
+        match solve_round round with
+        | Some verdict -> verdict
+        | None -> loop (round + 1)
     in
     loop 1
   end
