@@ -76,8 +76,8 @@ let reduced_harness () =
   Harness.create (Machine.create (Catalog.reduced ~per_bucket:2 ()))
 
 let cegis_toy ?(incremental_sat = true) ?(memoized_oracle = true)
-    ?(clause_db_reduction = true) ?(domains = 1) ?(certify = false)
-    ~symmetry_breaking ~max_size () =
+    ?(clause_db_reduction = true) ?(domains = 1) ?(cube_conquer = 0)
+    ?(certify = false) ~symmetry_breaking ~max_size () =
   let truth = Mapping.create ~num_ports:3 in
   Mapping.set truth toy_add [ (Portset.of_list [ 0; 1 ], 1) ];
   Mapping.set truth toy_mul [ (Portset.of_list [ 1; 2 ], 1) ];
@@ -86,7 +86,7 @@ let cegis_toy ?(incremental_sat = true) ?(memoized_oracle = true)
     { Cegis.default_config with
       Cegis.num_ports = 3; r_max = 4; max_experiment_size = max_size;
       symmetry_breaking; incremental_sat; memoized_oracle;
-      clause_db_reduction; domains; certify }
+      clause_db_reduction; domains; cube_conquer; certify }
   in
   let measure e = Cegis.modeled_inverse config truth e in
   let specs =
@@ -98,7 +98,7 @@ let cegis_toy ?(incremental_sat = true) ?(memoized_oracle = true)
   | Cegis.No_consistent_mapping _ | Cegis.Iteration_limit _ ->
     failwith "bench: toy CEGIS failed"
 
-let solve_pigeonhole_sub ~proof ~pigeons ~holes =
+let pigeonhole_cnf ~proof ~pigeons ~holes =
   let open Pmi_smt in
   let s = Sat.create () in
   if proof then Sat.set_proof_logging s true;
@@ -115,9 +115,32 @@ let solve_pigeonhole_sub ~proof ~pigeons ~holes =
       done
     done
   done;
+  s
+
+let solve_pigeonhole_sub ~proof ~pigeons ~holes =
+  let open Pmi_smt in
+  let s = pigeonhole_cnf ~proof ~pigeons ~holes in
   match Sat.solve s with
   | Sat.Unsat -> s
   | Sat.Sat _ -> failwith "bench: pigeonhole must be unsat"
+
+(* The cube-vs-portfolio A/B: the same UNSAT pigeonhole instance through
+   the 4-clone diversified portfolio and through cube-and-conquer (the
+   same 4 workers pulling 2^3 assumption cubes off the stealing queue,
+   continuously exchanging low-glue learnt clauses). *)
+let portfolio_pigeonhole ~pigeons ~holes =
+  let open Pmi_smt in
+  let s = pigeonhole_cnf ~proof:false ~pigeons ~holes in
+  match Solver.solve_portfolio ~domains:4 ~check:(fun _ -> []) s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> failwith "bench: pigeonhole must be unsat"
+
+let cubes_pigeonhole ~pigeons ~holes =
+  let open Pmi_smt in
+  let s = pigeonhole_cnf ~proof:false ~pigeons ~holes in
+  match Solver.solve_cubes ~domains:4 ~cubes:3 ~check:(fun _ -> []) s with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> failwith "bench: pigeonhole must be unsat"
 
 let solve_pigeonhole ~pigeons ~holes =
   ignore (solve_pigeonhole_sub ~proof:false ~pigeons ~holes)
@@ -266,6 +289,11 @@ let micro_tests =
     (* SAT solver on classic instances. *)
     ("sat/pigeonhole-7-6", fun () -> solve_pigeonhole ~pigeons:7 ~holes:6);
     ("sat/pigeonhole-8-7", fun () -> solve_pigeonhole ~pigeons:8 ~holes:7);
+    ("sat/pigeonhole-9-8", fun () -> solve_pigeonhole ~pigeons:9 ~holes:8);
+    ("sat/portfolio-php-8-7", fun () ->
+        portfolio_pigeonhole ~pigeons:8 ~holes:7);
+    ("sat/cube-vs-portfolio-php-8-7", fun () ->
+        cubes_pigeonhole ~pigeons:8 ~holes:7);
     ("sat/random-3sat", fun () -> solve_random_3sat ()) ]
 
 let characterize_fixture =
@@ -332,6 +360,14 @@ let ablation_tests =
         ignore (cegis_toy ~symmetry_breaking:true ~max_size:3 ()));
     ("ablation/cegis-bound-6", fun () ->
         ignore (cegis_toy ~symmetry_breaking:true ~max_size:6 ()));
+    (* SAT back-end of the CEGIS loop over the same 4 domains: diversified
+       portfolio racing vs cube-and-conquer decomposition. *)
+    ("ablation/cegis-portfolio", fun () ->
+        ignore (cegis_toy ~domains:4 ~symmetry_breaking:true ~max_size:4 ()));
+    ("ablation/cegis-cube-conquer", fun () ->
+        ignore
+          (cegis_toy ~domains:4 ~cube_conquer:2 ~symmetry_breaking:true
+             ~max_size:4 ()));
     (* Proof logging (trust-but-verify): the trace-recording overhead on an
        UNSAT workhorse, the independent checker on top of it, and a fully
        certified CEGIS run (its baseline is ablation/cegis-incremental-sat

@@ -50,14 +50,29 @@ let cnf_prefix = ref None
    certificate (DRAT proof for UNSAT, CNF + theory replay for SAT). *)
 let certify = ref false
 
+(* [--cubes K]: replace the CEGIS portfolio with cube-and-conquer over
+   2^K assumption cubes.  Implies a multi-domain solver pool. *)
+let cubes = ref 0
+
 let run_pipeline ~reduced ~seed =
   let harness = make_harness ~reduced ~seed in
+  let base = Pipeline.default_config.Pipeline.cegis in
+  let domains =
+    (* Cube-and-conquer needs a worker pool; force one even on a single
+       core (domains timeshare), where [default_domains] would say 1. *)
+    if !cubes > 0 then
+      max 2
+        (max base.Pmi_core.Cegis.domains (Pmi_parallel.Pool.default_domains ()))
+    else base.Pmi_core.Cegis.domains
+  in
   let config =
     { Pipeline.default_config with
       Pipeline.cegis =
-        { Pipeline.default_config.Pipeline.cegis with
+        { base with
           Pmi_core.Cegis.dump_cnf = !cnf_prefix;
-          Pmi_core.Cegis.certify = !certify } }
+          Pmi_core.Cegis.certify = !certify;
+          Pmi_core.Cegis.cube_conquer = !cubes;
+          Pmi_core.Cegis.domains = domains } }
   in
   let t0 = Unix.gettimeofday () in
   let result = Pipeline.run ~config harness in
@@ -515,6 +530,35 @@ let sanitize_portfolio ~schedules =
          "portfolio verdict changed under schedule %d" seed)
     (replay_seeds (min schedules 10) 4)
 
+let sanitize_cubes ~schedules =
+  (* Cube-and-conquer on the same fixed formula: the work-stealing cube
+     queue and the cross-worker clause pool are shared state beyond what
+     the portfolio exercises, and a small conflict budget forces re-splits
+     so the queue sees pushes from inside the race. *)
+  let open Pmi_smt in
+  let solve () =
+    let s = Sat.create () in
+    for _ = 1 to 80 do
+      ignore (Sat.fresh_var s)
+    done;
+    List.iter (Sat.add_clause s) sanitize_3sat_clauses;
+    match
+      Solver.solve_cubes ~domains:4 ~cubes:2 ~conflict_budget:64
+        ~check:(fun _ -> [])
+        s
+    with
+    | Solver.Sat _ -> true
+    | Solver.Unsat -> false
+  in
+  Pool.set_schedule Pool.Os;
+  let reference = solve () in
+  List.iter
+    (fun seed ->
+       Pool.set_schedule (Pool.Replay seed);
+       check_invariant (solve () = reference)
+         "cube-and-conquer verdict changed under schedule %d" seed)
+    (replay_seeds (min schedules 10) 4)
+
 let sanitize_cegis ~schedules =
   let toy =
     Catalog.of_list
@@ -603,6 +647,7 @@ let sanitize schedules plant json reduced _seed =
     try
       sanitize_pool_primitives ~schedules;
       sanitize_portfolio ~schedules;
+      sanitize_cubes ~schedules;
       sanitize_cegis ~schedules;
       sanitize_harness_sweep ~schedules ~reduced;
       if plant then sanitize_planted ();
@@ -666,6 +711,15 @@ let certify_flag =
              throughput oracle.  A certificate failure aborts the run." in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let cubes_flag =
+  let doc = "Solve each CEGIS SAT query by cube-and-conquer instead of the \
+             diversified portfolio: split the search space on $(docv) \
+             most-constrained variables into 2^$(docv) assumption cubes, \
+             scheduled across the domain pool with work stealing and \
+             continuous cross-worker clause sharing.  Implies a \
+             multi-domain solver pool; 0 keeps the portfolio." in
+  Arg.(value & opt int 0 & info [ "cubes" ] ~docv:"K" ~doc)
+
 let trace_out =
   let doc = "Record a telemetry trace of the run (CEGIS iterations, solver \
              calls, oracle searches, harness measurements) and write it to \
@@ -679,17 +733,19 @@ let metrics =
              finishes." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-let with_logs f reduced seed verbose dump_cnf certify_opt trace metrics =
+let with_logs f reduced seed verbose dump_cnf certify_opt cubes_opt trace
+    metrics =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   setup_obs ~trace ~metrics;
   cnf_prefix := dump_cnf;
   certify := certify_opt;
+  cubes := cubes_opt;
   f reduced seed
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf
-          $ certify_flag $ trace_out $ metrics)
+          $ certify_flag $ cubes_flag $ trace_out $ metrics)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -717,11 +773,11 @@ let () =
                (Cmd.info "analyze"
                   ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             trace metrics ->
+                             cubes trace metrics ->
                    with_logs (analyze_block insns) reduced seed verbose
-                     dump_cnf certify trace metrics)
+                     dump_cnf certify cubes trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag $ trace_out $ metrics));
+                     $ certify_flag $ cubes_flag $ trace_out $ metrics));
             (let insns =
                let doc = "Instruction scheme (name or unique prefix); repeatable." in
                Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
@@ -731,11 +787,11 @@ let () =
                   ~doc:"Show the explanatory microbenchmarks behind a scheme's \
                         inferred port usage")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             trace metrics ->
+                             cubes trace metrics ->
                    with_logs (explain_scheme insns) reduced seed verbose
-                     dump_cnf certify trace metrics)
+                     dump_cnf certify cubes trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag $ trace_out $ metrics));
+                     $ certify_flag $ cubes_flag $ trace_out $ metrics));
             (let files =
                let doc = "Port-mapping file(s) in the export format, linted \
                           in addition to the built-in profiles, catalog and \
@@ -753,11 +809,11 @@ let () =
                         ground-truth mappings (plus optional mapping files); \
                         exits non-zero on any error-severity diagnostic")
                Term.(const (fun files json reduced seed verbose dump_cnf
-                             certify trace metrics ->
+                             certify cubes trace metrics ->
                    with_logs (lint_files files json) reduced seed verbose
-                     dump_cnf certify trace metrics)
+                     dump_cnf certify cubes trace metrics)
                      $ files $ json $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag $ trace_out $ metrics));
+                     $ certify_flag $ cubes_flag $ trace_out $ metrics));
             (let schedules =
                let doc = "Number of deterministic replay schedules to shake \
                           each parallel workload through (capped at the \
@@ -779,13 +835,14 @@ let () =
              Cmd.v
                (Cmd.info "sanitize"
                   ~doc:"Run the parallel workloads (pool primitives, solver \
-                        portfolio, CEGIS sweeps, harness cache) under the \
-                        vector-clock race detector, across OS scheduling and \
-                        deterministic schedule replay; exits non-zero on any \
-                        data race")
+                        portfolio, cube-and-conquer, CEGIS sweeps, harness \
+                        cache) under the vector-clock race detector, across \
+                        OS scheduling and deterministic schedule replay; \
+                        exits non-zero on any data race")
                Term.(const (fun schedules plant json reduced seed verbose
-                             dump_cnf certify trace metrics ->
+                             dump_cnf certify cubes trace metrics ->
                    with_logs (sanitize schedules plant json) reduced seed
-                     verbose dump_cnf certify trace metrics)
+                     verbose dump_cnf certify cubes trace metrics)
                      $ schedules $ plant $ json $ reduced $ seed $ verbose
-                     $ dump_cnf $ certify_flag $ trace_out $ metrics)) ]))
+                     $ dump_cnf $ certify_flag $ cubes_flag $ trace_out
+                     $ metrics)) ]))

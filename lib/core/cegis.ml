@@ -40,6 +40,7 @@ type config = {
   incremental_sat : bool;
   memoized_oracle : bool;
   domains : int;
+  cube_conquer : int;
   clause_db_reduction : bool;
   dump_cnf : string option;
   certify : bool;
@@ -58,6 +59,7 @@ let default_config =
     incremental_sat = true;
     memoized_oracle = true;
     domains = 1;
+    cube_conquer = 0;
     clause_db_reduction = true;
     dump_cnf = None;
     certify = false }
@@ -140,10 +142,20 @@ let fresh_encoding config specs pool =
   Vec.iter (Pmi_smt.Sat.add_clause (Encoding.sat encoding)) pool;
   encoding
 
-(* Theory-level solving, fanned out over a diversified solver portfolio when
-   the config grants more than one domain. *)
-let solve_sub config ?assumptions ~check sat =
-  if config.domains > 1 then
+(* Theory-level solving: cube-and-conquer when [cube_conquer] grants split
+   variables, a diversified solver portfolio otherwise — both only when the
+   config grants more than one domain. *)
+let solve_sub config encoding ?assumptions ~check sat =
+  if config.cube_conquer > 0 && config.domains > 1 then
+    Obs.span
+      ~args:[ ("k", Obs.Int config.cube_conquer) ]
+      "cegis.cubes"
+      (fun () ->
+         Solver.solve_cubes ?assumptions ~domains:config.domains
+           ~cubes:config.cube_conquer
+           ~hint:(fun () -> Encoding.split_hint encoding)
+           ~check sat)
+  else if config.domains > 1 then
     Solver.solve_portfolio ?assumptions ~domains:config.domains ~check sat
   else Solver.solve ?assumptions ~check sat
 
@@ -216,7 +228,7 @@ let certify_sat config encoding observations model =
    is on. *)
 let certified_solve config encoding observations ?assumptions ~check () =
   let sat = Encoding.sat encoding in
-  let verdict = solve_sub config ?assumptions ~check sat in
+  let verdict = solve_sub config encoding ?assumptions ~check sat in
   (match verdict with
    | Solver.Unsat -> certify_unsat config ?assumptions sat
    | Solver.Sat model -> certify_sat config encoding observations model);

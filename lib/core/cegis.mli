@@ -47,6 +47,19 @@ type config = {
                                    concurrently, so only raise this with a
                                    thread-safe measure function (default
                                    [1]) *)
+  cube_conquer : int;          (** > 0 replaces the SAT portfolio with
+                                   cube-and-conquer
+                                   ({!Pmi_smt.Solver.solve_cubes}): each
+                                   theory round splits the search space on
+                                   that many variables — hinted by
+                                   {!Pmi_core.Encoding.split_hint}, the
+                                   port-set rows of the most-constrained
+                                   instruction classes — into [2^k]
+                                   assumption cubes scheduled across
+                                   [domains] workers with work stealing
+                                   and continuous cross-worker clause
+                                   sharing.  Only effective with
+                                   [domains > 1] (default [0], off) *)
   clause_db_reduction : bool;  (** let the SAT engine periodically discard
                                    high-glue learnt clauses
                                    ({!Pmi_smt.Sat.set_reduce_enabled});

@@ -175,6 +175,24 @@ let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
   end;
   t
 
+(* Cube-split hint: the own-port variables of the instruction classes,
+   most constrained first.  A class's constrainedness is the summed VSIDS
+   activity of its own µop row — the classes the solver fights over the
+   most — with the catalog order as the tie-break on a fresh solver.
+   Within a row, ports are likewise ordered by activity, so the first few
+   variables of the hint are the hottest port-set literals overall. *)
+let split_hint t =
+  let activity v = Sat.var_activity t.solver v in
+  let row_score row =
+    Array.fold_left (fun acc v -> acc +. activity v) 0.0 row.own
+  in
+  Array.to_list t.rows
+  |> List.map (fun r -> (row_score r, r))
+  |> List.stable_sort (fun (a, _) (b, _) -> compare (b : float) a)
+  |> List.concat_map (fun (_, r) ->
+      Array.to_list r.own
+      |> List.stable_sort (fun a b -> compare (activity b) (activity a)))
+
 let ports_of_row model vars =
   let ports = ref Portset.empty in
   Array.iteri (fun k v -> if model.(v) then ports := Portset.add k !ports) vars;

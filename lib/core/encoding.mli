@@ -63,3 +63,10 @@ val block_footprint :
 
 val block_model : t -> bool array -> Pmi_smt.Lit.t list
 (** [block_footprint] over all schemes. *)
+
+val split_hint : t -> int list
+(** Cube-split hint for {!Pmi_smt.Solver.solve_cubes}: the own-port µop
+    variables of the instruction classes, most constrained first — classes
+    ranked by the summed VSIDS activity of their own µop row (catalog order
+    on a fresh solver), ports within a row likewise by activity.  Re-query
+    after each solve; the ranking follows the search. *)

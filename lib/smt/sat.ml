@@ -107,6 +107,14 @@ type t = {
   (* Learned-clause export log (enabled on portfolio clones). *)
   mutable log_enabled : bool;
   mutable learnt_log : (int * int list) list;  (* (lbd, lits), newest first *)
+  (* Cube-and-conquer hooks (see [Solver.solve_cubes]).  [on_learnt] fires
+     synchronously on every clause the search learns, so a driver can
+     export low-glue clauses to a shared pool while the solver is still
+     running; the callback must not reenter the solver.  [on_restart]
+     fires at every decision-level-0 boundary inside [solve_opt] (each
+     restart), where importing foreign clauses via [add_learnt] is legal. *)
+  mutable on_learnt : (int -> int list -> unit) option;
+  mutable on_restart : (unit -> unit) option;
   (* DRAT proof trace (certification support).  Stored internally as one
      flat growable int buffer of [tag; len; lits...] records with tag
      0 = Input, 1 = Derive, 2 = Delete; logging a step on the learning hot
@@ -180,6 +188,8 @@ let create () =
     reduce_step = 2000;
     log_enabled = false;
     learnt_log = [];
+    on_learnt = None;
+    on_restart = None;
     proof_enabled = false;
     proof_buf = [||];
     proof_pos = 0;
@@ -845,6 +855,9 @@ let record_learnt s n lbd =
     let lits = Array.to_list (Array.sub s.learnt_buf 0 n) in
     s.learnt_log <- (lbd, lits) :: s.learnt_log
   end;
+  (match s.on_learnt with
+   | None -> ()
+   | Some f -> f lbd (Array.to_list (Array.sub s.learnt_buf 0 n)));
   (* The minimized first-UIP clause has the RUP property w.r.t. the clauses
      logged so far, so it is a legal DRAT derivation step. *)
   proof_push_sub s 1 s.learnt_buf 0 n;
@@ -923,6 +936,54 @@ let add_learnt s ~lbd lits =
   add_clause_internal s ~learned:true ~lbd lits
 
 let new_learnts s = List.rev s.learnt_log
+
+let set_on_learnt s f = s.on_learnt <- f
+let set_on_restart s f = s.on_restart <- f
+
+(* ------------------------------------------------------------------ *)
+(* Cube-and-conquer support                                            *)
+(* ------------------------------------------------------------------ *)
+
+let var_activity s v =
+  if v >= 0 && v < s.nvars then s.activity.(v) else 0.0
+
+let root_value s v =
+  if v >= 0 && v < s.nvars then var_value s v else 0
+
+(* The [k] best split candidates: variables unassigned at the root, ranked
+   by VSIDS activity with occurrence count (over the problem clauses) as
+   the tie-break — on a fresh solver every activity is zero, so the
+   occurrence ranking carries the choice. *)
+let most_constrained_vars s k =
+  if k <= 0 || s.nvars = 0 then []
+  else begin
+    let occ = Array.make s.nvars 0 in
+    for i = 0 to s.n_problem - 1 do
+      let cr = s.clauses.(i) in
+      if not (c_deleted s cr) then begin
+        let len = c_len s cr in
+        for j = 0 to len - 1 do
+          let v = Lit.var (c_lit s cr j) in
+          occ.(v) <- occ.(v) + 1
+        done
+      end
+    done;
+    for i = 0 to s.n_bin_pairs - 1 do
+      let v = Lit.var s.bin_pairs.(i) in
+      occ.(v) <- occ.(v) + 1
+    done;
+    let cand = ref [] in
+    for v = s.nvars - 1 downto 0 do
+      if var_value s v = 0 then cand := v :: !cand
+    done;
+    let rank a b =
+      match compare s.activity.(b) s.activity.(a) with
+      | 0 -> (match compare occ.(b) occ.(a) with 0 -> compare a b | c -> c)
+      | c -> c
+    in
+    let sorted = List.sort rank !cand in
+    List.filteri (fun i _ -> i < k) sorted
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Clause-database reduction                                           *)
@@ -1321,6 +1382,18 @@ let solve_opt ?(assumptions = []) ?(stop = fun () -> false) s =
         cancel_until s 0;
         if s.reduce_enabled && s.st_conflicts >= s.reduce_budget then
           reduce_db s;
+        (* Cube-and-conquer import point: the driver's [on_restart] hook
+           may pull foreign learnt clauses in via [add_learnt] here, at
+           decision level 0.  An import can expose root unsatisfiability
+           (level-0 conflict), which must terminate the search. *)
+        (match s.on_restart with
+         | None -> ()
+         | Some f ->
+           f ();
+           if not s.ok then begin
+             result := Some Unsat;
+             finished := true
+           end);
         sanitize_check s
       end
       else if s.n_levels < n_assumptions then begin
@@ -1409,6 +1482,10 @@ let copy s =
     reduce_step = s.reduce_step;
     log_enabled = true;
     learnt_log = [];
+    (* Sharing hooks are per-instance wiring, installed by the driver that
+       owns the clone; they never survive a copy. *)
+    on_learnt = None;
+    on_restart = None;
     (* The parent assembles the proof: it replays the winner's learnt log as
        derivation steps (see [Solver.solve_portfolio]), so clones never
        record their own trace. *)

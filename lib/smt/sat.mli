@@ -91,6 +91,33 @@ val add_learnt : t -> lbd:int -> Lit.t list -> unit
 val absorb_stats : t -> t -> unit
 (** [absorb_stats s clone] folds the clone's counters into [s]. *)
 
+(** {1 Cube-and-conquer support} *)
+
+val var_activity : t -> int -> float
+(** Current VSIDS activity of a variable ([0.] out of range). *)
+
+val root_value : t -> int -> int
+(** Root-level (decision level 0) assignment of a variable: [1] true,
+    [-1] false, [0] unassigned.  Call between [solve] calls. *)
+
+val most_constrained_vars : t -> int -> int list
+(** The [k] best cube-split candidates: variables unassigned at the root,
+    ranked by VSIDS activity with occurrence count over the problem
+    clauses as the tie-break (so a fresh solver still yields a meaningful
+    order), most constrained first. *)
+
+val set_on_learnt : t -> (int -> Lit.t list -> unit) option -> unit
+(** Install (or clear) a hook fired synchronously as [f lbd lits] on every
+    clause the search learns — the continuous-export half of the
+    cube-and-conquer shared clause pool.  The hook runs mid-search and
+    must not reenter the solver. *)
+
+val set_on_restart : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook fired at every decision-level-0 boundary
+    inside [solve_opt] (each restart).  Importing foreign clauses via
+    {!add_learnt} is legal there; an import that exposes root
+    unsatisfiability terminates the search with [Unsat]. *)
+
 (** {1 Diversification knobs} *)
 
 val set_seed : t -> int -> unit

@@ -42,4 +42,50 @@ val solve_portfolio :
     exactly as in the sequential path.  SAT/UNSAT verdicts are identical to
     [solve]; which model witnesses SAT may differ run to run.  [domains]
     defaults to {!Pmi_parallel.Pool.default_domains}; with [domains <= 1]
-    this is exactly [solve]. *)
+    this is exactly [solve].
+
+    If the race anomalously produces no winner, the round degrades to a
+    sequential solve on the persistent solver instead of aborting the
+    inference. *)
+
+(** {1 Cube-and-conquer} *)
+
+val cube_cover : ?hint:int list -> k:int -> Sat.t -> Lit.t list list
+(** An exhaustive, pairwise-disjoint cover of the search space: pick up to
+    [k] split variables — the [hint] list first (callers pass the port-set
+    variables of the most-constrained instruction classes), topped up by
+    {!Sat.most_constrained_vars} — and enumerate every assignment of them
+    as an assumption cube.  Variables already decided at the root are
+    skipped; with no usable variable the cover is the single empty cube. *)
+
+val solve_cubes :
+  ?assumptions:Lit.t list ->
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?cubes:int ->
+  ?conflict_budget:int ->
+  ?hint:(unit -> int list) ->
+  check:(bool array -> Lit.t list list) ->
+  Sat.t ->
+  result
+(** Cube-and-conquer [solve]: per theory round the search space is split
+    into [2^cubes] assumption cubes ({!cube_cover}, re-querying [hint]
+    each round so the split follows the evolving VSIDS activity), and
+    [min domains 8] diversified clones of the persistent solver pull cubes
+    off a shared work queue.  A cube still open after [conflict_budget]
+    conflicts is re-split on the claiming worker's most active free
+    variable and both halves go back on the queue for any worker to steal.
+    Workers continuously export their low-glue learnt clauses to a
+    lock-protected shared pool and import their peers' clauses at restart
+    boundaries, so hard cubes benefit from every worker's progress while
+    all of them are still running.
+
+    A SAT cube short-circuits the race through the pool's [stop] protocol
+    and its model is a model of the full problem.  When every cube is
+    refuted the verdict is [Unsat]; with proof logging enabled the parent
+    trace is extended with all workers' learnt clauses (in the one global
+    order that makes the merged sequence a valid DRAT suffix), one
+    [goal ∨ ¬cube] clause per refuted leaf, and the cube-split tautology
+    resolved bottom-up to the goal clause itself, so the stitched
+    certificate passes the independent {!Pmi_analysis.Drat} checker.
+    With [domains <= 1] this is exactly [solve]. *)

@@ -305,6 +305,37 @@ let test_portfolio_replay () =
       reference !verdict
   done
 
+let test_cubes_replay () =
+  (* Cube-and-conquer adds two more pieces of shared state on top of the
+     portfolio: the work-stealing cube queue and the cross-worker clause
+     pool, both lock-protected.  A small conflict budget forces re-splits,
+     so the queue sees concurrent pushes as well as pops.  Verdicts must
+     be schedule-independent and every schedule race-free. *)
+  let clauses = random_clauses ~vars:50 ~clauses:205 ~state:0xCAFE in
+  let solve () =
+    let s = Sat.create () in
+    for _ = 1 to 50 do
+      ignore (Sat.fresh_var s)
+    done;
+    List.iter (Sat.add_clause s) clauses;
+    match
+      Solver.solve_cubes ~domains:4 ~cubes:2 ~conflict_budget:64
+        ~check:(fun _ -> [])
+        s
+    with
+    | Solver.Sat _ -> true
+    | Solver.Unsat -> false
+  in
+  let reference = solve () in
+  for seed = 0 to 5 do
+    let verdict = ref reference in
+    expect_clean "cube-and-conquer"
+      (with_detector ~schedule:seed (fun () -> verdict := solve ()));
+    Alcotest.(check bool)
+      (Printf.sprintf "verdict stable (seed %d)" seed)
+      reference !verdict
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Harness and CEGIS shared state                                      *)
 
@@ -448,6 +479,7 @@ let () =
            test_find_first_index_minimal ]);
       ("stack",
        [ Alcotest.test_case "portfolio replay" `Quick test_portfolio_replay;
+         Alcotest.test_case "cube-and-conquer replay" `Quick test_cubes_replay;
          Alcotest.test_case "harness sweep" `Quick
            test_harness_parallel_sweep;
          Alcotest.test_case "parallel CEGIS" `Slow test_cegis_replay_clean;
