@@ -13,17 +13,33 @@ type row = {
   own : int array;             (* own µop variables, one per port *)
   shared : int array;          (* improper only: shared µop variables *)
   selectors : int array;       (* improper only: one per proper instr *)
+  act : int;                   (* activation variable; -1 = unguarded *)
+  mutable live : bool;         (* false once the row has been retired *)
 }
 
 type t = {
   solver : Sat.t;
   num_ports : int;
-  rows : row array;
+  mutable rows : row array;
 }
 
 let sat t = t.solver
 let num_ports t = t.num_ports
-let schemes t = Array.to_list (Array.map (fun r -> (r.scheme, r.spec)) t.rows)
+
+(* Every observable view of the encoding ranges over the live rows only:
+   a retired row's variables stay in the solver (its guarded clauses are
+   inert once the activation literal is unit-negated) but it no longer
+   takes part in decode/freeze/lemma construction. *)
+let live_rows t = Array.to_list t.rows |> List.filter (fun r -> r.live)
+
+let schemes t = List.map (fun r -> (r.scheme, r.spec)) (live_rows t)
+
+let has_scheme t scheme =
+  List.exists (fun r -> Scheme.equal r.scheme scheme) (live_rows t)
+
+let check_count num_ports c =
+  if c < 1 || c > num_ports then
+    invalid_arg "Encoding: port count out of range"
 
 let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
   if num_ports <= 0 then invalid_arg "Encoding.create: num_ports";
@@ -52,16 +68,13 @@ let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
     Array.of_list
       (List.map
          (fun (scheme, spec) ->
-            let check c =
-              if c < 1 || c > num_ports then
-                invalid_arg "Encoding.create: port count out of range"
-            in
             (match spec with
-             | Proper c -> check c
-             | Improper { own_ports } -> check own_ports);
+             | Proper c -> check_count num_ports c
+             | Improper { own_ports } -> check_count num_ports own_ports);
             let own = fresh_row () in
             name_row "own" scheme own;
-            { scheme; spec; own; shared = [||]; selectors = [||] })
+            { scheme; spec; own; shared = [||]; selectors = [||];
+              act = -1; live = true })
          specs)
   in
   (* Cardinality of every own µop. *)
@@ -175,6 +188,62 @@ let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
   end;
   t
 
+(* ------------------------------------------------------------------ *)
+(* Delta rows: guarded append and activation-literal retirement        *)
+(* ------------------------------------------------------------------ *)
+
+let append_row t scheme spec =
+  let count =
+    match spec with
+    | Proper c -> c
+    | Improper _ ->
+      (* Improper rows need the selector machinery over a partner set that
+         would itself have to follow appends/retirements; delta sessions
+         route store-blocker changes through full re-inference instead. *)
+      invalid_arg "Encoding.append_row: improper rows are not appendable"
+  in
+  check_count t.num_ports count;
+  if has_scheme t scheme then
+    invalid_arg "Encoding.append_row: scheme already has a live row";
+  let own = Array.init t.num_ports (fun _ -> Sat.fresh_var t.solver) in
+  Array.iteri
+    (fun k v ->
+       Sat.name_var t.solver v
+         (Printf.sprintf "own(%s,p%d)" (Scheme.name scheme) k))
+    own;
+  let act = Sat.fresh_var t.solver in
+  Sat.name_var t.solver act (Printf.sprintf "act(%s)" (Scheme.name scheme));
+  (* The cardinality chain binds only while [act] is assumed: retiring the
+     row is one unit clause, no encoding rebuild. *)
+  Card.exactly ~guard:(Lit.neg_of_var act) t.solver
+    (Array.to_list (Array.map Lit.pos own))
+    count;
+  let row =
+    { scheme; spec; own; shared = [||]; selectors = [||]; act; live = true }
+  in
+  t.rows <- Array.append t.rows [| row |]
+
+let retire_row t scheme =
+  match
+    List.find_opt
+      (fun r -> r.live && Scheme.equal r.scheme scheme)
+      (Array.to_list t.rows)
+  with
+  | None -> invalid_arg "Encoding.retire_row: no live row for scheme"
+  | Some row ->
+    if row.act < 0 then
+      invalid_arg "Encoding.retire_row: row has no activation literal";
+    (* Dropping the activation literal permanently deactivates the row's
+       cardinality chain and every lemma that mentions the row (lemmas are
+       guarded by the activation literals of the rows they touch). *)
+    Sat.add_clause t.solver [ Lit.neg_of_var row.act ];
+    row.live <- false
+
+let row_assumptions t =
+  List.filter_map
+    (fun r -> if r.act >= 0 then Some (Lit.pos r.act) else None)
+    (live_rows t)
+
 (* Cube-split hint: the own-port variables of the instruction classes,
    most constrained first.  A class's constrainedness is the summed VSIDS
    activity of its own µop row — the classes the solver fights over the
@@ -186,7 +255,7 @@ let split_hint t =
   let row_score row =
     Array.fold_left (fun acc v -> acc +. activity v) 0.0 row.own
   in
-  Array.to_list t.rows
+  live_rows t
   |> List.map (fun r -> (row_score r, r))
   |> List.stable_sort (fun (a, _) (b, _) -> compare (b : float) a)
   |> List.concat_map (fun (_, r) ->
@@ -200,7 +269,7 @@ let ports_of_row model vars =
 
 let decode t model =
   let mapping = Mapping.create ~num_ports:t.num_ports in
-  Array.iter
+  List.iter
     (fun row ->
        let own = ports_of_row model row.own in
        let usage =
@@ -209,42 +278,55 @@ let decode t model =
          | Improper _ -> [ (own, 1); (ports_of_row model row.shared, 1) ]
        in
        Mapping.set mapping row.scheme usage)
-    t.rows;
+    (live_rows t);
   mapping
 
-let encode_mapping t mapping =
-  let lits = ref [] in
+let pin_row lits row usage =
   let assert_row vars ports =
     Array.iteri
       (fun k v ->
          lits := (if Portset.mem k ports then Lit.pos v else Lit.neg_of_var v) :: !lits)
       vars
   in
-  Array.iter
+  match (row.spec, usage) with
+  | Proper _, [ (ports, 1) ] -> assert_row row.own ports
+  | Improper _, [ (a, 1); (b, 1) ] ->
+    (* The improper usage is stored canonically (sorted by port set);
+       try both orientations of (own, shared). *)
+    let own_count =
+      match row.spec with
+      | Improper { own_ports } -> own_ports
+      | Proper _ -> assert false
+    in
+    let own, shared =
+      if Portset.cardinal a = own_count then (a, b) else (b, a)
+    in
+    assert_row row.own own;
+    assert_row row.shared shared
+  | (Proper _ | Improper _), _ ->
+    invalid_arg "Encoding: µop structure mismatch"
+
+let encode_mapping t mapping =
+  let lits = ref [] in
+  List.iter
     (fun row ->
        let usage =
          match Mapping.find_opt mapping row.scheme with
          | Some u -> u
          | None -> invalid_arg "Encoding.encode_mapping: scheme not mapped"
        in
-       match (row.spec, usage) with
-       | Proper _, [ (ports, 1) ] -> assert_row row.own ports
-       | Improper _, [ (a, 1); (b, 1) ] ->
-         (* The improper usage is stored canonically (sorted by port set);
-            try both orientations of (own, shared). *)
-         let own_count =
-           match row.spec with
-           | Improper { own_ports } -> own_ports
-           | Proper _ -> assert false
-         in
-         let own, shared =
-           if Portset.cardinal a = own_count then (a, b) else (b, a)
-         in
-         assert_row row.own own;
-         assert_row row.shared shared
-       | (Proper _ | Improper _), _ ->
-         invalid_arg "Encoding.encode_mapping: µop structure mismatch")
-    t.rows;
+       pin_row lits row usage)
+    (live_rows t);
+  !lits
+
+let freeze_lits t mapping =
+  let lits = ref [] in
+  List.iter
+    (fun row ->
+       match Mapping.find_opt mapping row.scheme with
+       | Some usage -> pin_row lits row usage
+       | None -> ())
+    (live_rows t);
   !lits
 
 let block_footprint t model schemes =
@@ -256,14 +338,18 @@ let block_footprint t model schemes =
          lits := (if model.(v) then Lit.neg_of_var v else Lit.pos v) :: !lits)
       vars
   in
-  Array.iter
+  List.iter
     (fun row ->
        if interesting row.scheme then begin
+         (* Guarded rows scope the lemma to their own lifetime: once the
+            row is retired (act unit-negated) the clause is satisfied and
+            inert, exactly like the cardinality chain it refutes. *)
+         if row.act >= 0 then lits := Lit.neg_of_var row.act :: !lits;
          flip row.own;
          flip row.shared
        end)
-    t.rows;
+    (live_rows t);
   !lits
 
 let block_model t model =
-  block_footprint t model (List.map (fun r -> r.scheme) (Array.to_list t.rows))
+  block_footprint t model (List.map (fun r -> r.scheme) (live_rows t))

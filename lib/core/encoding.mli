@@ -17,7 +17,16 @@
     lexicographic column-ordering constraints: the matrix columns (ports),
     read along the proper µop rows, must be non-increasing.  Every mapping
     has such a representative, so no behaviour is lost, while the SAT search
-    stops enumerating port renamings of the same mapping. *)
+    stops enumerating port renamings of the same mapping.
+
+    {b Delta rows.}  Rows may also be appended after creation
+    ({!append_row}): such rows are {e guarded} — their cardinality chain is
+    conditional on a fresh activation variable, and every lemma built by
+    {!block_footprint} that mentions them carries the negated activation
+    literal.  Assume {!row_assumptions} on each solve to activate them;
+    {!retire_row} permanently drops a row (and every lemma scoped to it)
+    with a single unit clause, no rebuild.  This is the encoding half of
+    the incremental re-inference mode ({!Pmi_core.Cegis.Delta}). *)
 
 type instr_spec =
   | Proper of int               (** single µop with the given port count *)
@@ -43,7 +52,33 @@ val create :
 
 val sat : t -> Pmi_smt.Sat.t
 val num_ports : t -> int
+
 val schemes : t -> (Pmi_isa.Scheme.t * instr_spec) list
+(** The live rows, in row order (retired rows are excluded everywhere). *)
+
+val has_scheme : t -> Pmi_isa.Scheme.t -> bool
+(** Is there a live row for the scheme? *)
+
+val append_row : t -> Pmi_isa.Scheme.t -> instr_spec -> unit
+(** Append a guarded row: fresh named µop variables plus a fresh activation
+    variable [act(<scheme>)] whose negation guards the cardinality chain.
+    The row only binds while its activation literal ({!row_assumptions}) is
+    assumed true.
+    @raise Invalid_argument on an [Improper] spec (store blockers need the
+    selector machinery and go through full re-inference), an out-of-range
+    port count, or a scheme that already has a live row. *)
+
+val retire_row : t -> Pmi_isa.Scheme.t -> unit
+(** Permanently drop a guarded row by unit-negating its activation literal:
+    its cardinality chain and every lemma mentioning it become inert, and
+    the row disappears from {!schemes}/{!decode}/{!split_hint}/lemma
+    construction.  The variables stay in the solver.
+    @raise Invalid_argument if the scheme has no live row or the row is an
+    unguarded creation-time row. *)
+
+val row_assumptions : t -> Pmi_smt.Lit.t list
+(** The positive activation literals of every live guarded row — assume
+    these on each solve of a delta-mode encoding. *)
 
 val decode : t -> bool array -> Pmi_portmap.Mapping.t
 (** Read a port mapping out of a SAT model. *)
@@ -54,12 +89,20 @@ val encode_mapping : t -> Pmi_portmap.Mapping.t -> Pmi_smt.Lit.t list
     @raise Invalid_argument if the mapping lacks one of the schemes or has
     an incompatible µop structure. *)
 
+val freeze_lits : t -> Pmi_portmap.Mapping.t -> Pmi_smt.Lit.t list
+(** Like {!encode_mapping}, but rows whose scheme the mapping does not
+    cover are simply left free — the delta-mode assumption set pinning the
+    previously accepted rows while the freshly appended ones are solved.
+    @raise Invalid_argument on an incompatible µop structure. *)
+
 val block_footprint :
   t -> bool array -> Pmi_isa.Scheme.t list -> Pmi_smt.Lit.t list
 (** A lemma clause refuting every assignment that agrees with [model] on
     all µop variables of the given schemes — the CEGAR learning step: a
     violated experiment refutes exactly the port sets of the schemes it
-    contains. *)
+    contains.  Guarded rows contribute their negated activation literal,
+    scoping the lemma to the rows' lifetimes: retiring any mentioned row
+    satisfies (and thereby retires) the lemma. *)
 
 val block_model : t -> bool array -> Pmi_smt.Lit.t list
 (** [block_footprint] over all schemes. *)

@@ -9,6 +9,8 @@ module Obs = Pmi_obs.Obs
    hit/miss stays available via [cache_hits]/[cache_misses]). *)
 let c_cache_hits = Obs.counter "harness.cache.hits"
 let c_cache_misses = Obs.counter "harness.cache.misses"
+let c_sweeps = Obs.counter "harness.sweeps"
+let c_sweep_exps = Obs.counter "harness.sweep.experiments"
 
 type sample = {
   cycles : Rat.t;
@@ -82,6 +84,21 @@ let run t experiment =
             sample))
 
 let cycles t experiment = (run t experiment).cycles
+
+(* One batched measurement pass: a delta-mode CEGIS flush queues many
+   pending schemes and sweeps all their experiments here before the solver
+   episode starts, so harness round-trips amortise across the batch (and a
+   trace shows one [harness.sweep] span instead of n scattered measures).
+   Each experiment still goes through [run], so the cache is primed for
+   every later per-experiment query. *)
+let sweep t experiments =
+  let n = List.length experiments in
+  Obs.incr c_sweeps;
+  Obs.add c_sweep_exps n;
+  Obs.span
+    ~args:[ ("experiments", Obs.Int n) ]
+    "harness.sweep"
+    (fun () -> List.map (fun e -> (run t e).cycles) experiments)
 
 let cpi t experiment =
   let len = Experiment.length experiment in

@@ -1,12 +1,23 @@
 (* Sequential-counter encoding: registers s_{i,j} mean "at least j of the
-   first i+1 literals are true".  Linear in n*k clauses and variables. *)
+   first i+1 literals are true".  Linear in n*k clauses and variables.
 
-let at_most solver lits k =
+   The optional [?guard] literal is prepended to every emitted clause, so
+   the whole constraint is conditional on the guard: pass [guard = ¬act]
+   and the cardinality chain only binds while [act] is assumed true.  The
+   delta-mode encoding uses this to make a row's constraints retirable
+   with one unit clause instead of a rebuild. *)
+
+let add ?guard solver c =
+  match guard with
+  | None -> Sat.add_clause solver c
+  | Some g -> Sat.add_clause solver (g :: c)
+
+let at_most ?guard solver lits k =
   let lits = Array.of_list lits in
   let n = Array.length lits in
-  if k < 0 then Sat.add_clause solver []
+  if k < 0 then add ?guard solver []
   else if k = 0 then
-    Array.iter (fun l -> Sat.add_clause solver [ Lit.negate l ]) lits
+    Array.iter (fun l -> add ?guard solver [ Lit.negate l ]) lits
   else if n > k then begin
     (* regs.(i).(j) = s_{i+1, j+1} of the classical presentation. *)
     let regs =
@@ -14,28 +25,28 @@ let at_most solver lits k =
     in
     let s i j = Lit.pos regs.(i).(j) in
     let not_s i j = Lit.neg_of_var regs.(i).(j) in
-    Sat.add_clause solver [ Lit.negate lits.(0); s 0 0 ];
+    add ?guard solver [ Lit.negate lits.(0); s 0 0 ];
     for j = 1 to k - 1 do
-      Sat.add_clause solver [ not_s 0 j ]
+      add ?guard solver [ not_s 0 j ]
     done;
     for i = 1 to n - 2 do
-      Sat.add_clause solver [ Lit.negate lits.(i); s i 0 ];
-      Sat.add_clause solver [ not_s (i - 1) 0; s i 0 ];
+      add ?guard solver [ Lit.negate lits.(i); s i 0 ];
+      add ?guard solver [ not_s (i - 1) 0; s i 0 ];
       for j = 1 to k - 1 do
-        Sat.add_clause solver [ Lit.negate lits.(i); not_s (i - 1) (j - 1); s i j ];
-        Sat.add_clause solver [ not_s (i - 1) j; s i j ]
+        add ?guard solver [ Lit.negate lits.(i); not_s (i - 1) (j - 1); s i j ];
+        add ?guard solver [ not_s (i - 1) j; s i j ]
       done;
-      Sat.add_clause solver [ Lit.negate lits.(i); not_s (i - 1) (k - 1) ]
+      add ?guard solver [ Lit.negate lits.(i); not_s (i - 1) (k - 1) ]
     done;
-    Sat.add_clause solver [ Lit.negate lits.(n - 1); not_s (n - 2) (k - 1) ]
+    add ?guard solver [ Lit.negate lits.(n - 1); not_s (n - 2) (k - 1) ]
   end
 
-let at_least solver lits k =
+let at_least ?guard solver lits k =
   let n = List.length lits in
-  if k > n then Sat.add_clause solver []
-  else if k = n then List.iter (fun l -> Sat.add_clause solver [ l ]) lits
-  else if k = 1 then Sat.add_clause solver lits
-  else if k > 0 then at_most solver (List.map Lit.negate lits) (n - k)
+  if k > n then add ?guard solver []
+  else if k = n then List.iter (fun l -> add ?guard solver [ l ]) lits
+  else if k = 1 then add ?guard solver lits
+  else if k > 0 then at_most ?guard solver (List.map Lit.negate lits) (n - k)
 
 (* One register bank carrying both bounds.  The naive [at_most] + [at_least]
    pairing builds two independent counters ((n-1)*n aux variables for the
@@ -44,13 +55,13 @@ let at_least solver lits k =
    i+1 literals are true (counting direction), and the L clauses only allow
    s_{i,j} when that is the case (so the final register row can assert the
    lower bound). *)
-let exactly solver lits k =
+let exactly ?guard solver lits k =
   let lits = Array.of_list lits in
   let n = Array.length lits in
-  if k < 0 || k > n then Sat.add_clause solver []
+  if k < 0 || k > n then add ?guard solver []
   else if k = 0 then
-    Array.iter (fun l -> Sat.add_clause solver [ Lit.negate l ]) lits
-  else if k = n then Array.iter (fun l -> Sat.add_clause solver [ l ]) lits
+    Array.iter (fun l -> add ?guard solver [ Lit.negate l ]) lits
+  else if k = n then Array.iter (fun l -> add ?guard solver [ l ]) lits
   else begin
     (* 1 <= k < n, hence n >= 2. *)
     let regs =
@@ -59,32 +70,32 @@ let exactly solver lits k =
     let s i j = Lit.pos regs.(i).(j) in
     let not_s i j = Lit.neg_of_var regs.(i).(j) in
     (* Row 0: s_{0,0} <-> x_0, higher registers off. *)
-    Sat.add_clause solver [ Lit.negate lits.(0); s 0 0 ];
-    Sat.add_clause solver [ not_s 0 0; lits.(0) ];
+    add ?guard solver [ Lit.negate lits.(0); s 0 0 ];
+    add ?guard solver [ not_s 0 0; lits.(0) ];
     for j = 1 to k - 1 do
-      Sat.add_clause solver [ not_s 0 j ]
+      add ?guard solver [ not_s 0 j ]
     done;
     for i = 1 to n - 2 do
       (* Counting direction (upper bound): the register row is at least the
          previous row, plus one if x_i is true. *)
-      Sat.add_clause solver [ Lit.negate lits.(i); s i 0 ];
-      Sat.add_clause solver [ not_s (i - 1) 0; s i 0 ];
+      add ?guard solver [ Lit.negate lits.(i); s i 0 ];
+      add ?guard solver [ not_s (i - 1) 0; s i 0 ];
       (* Support direction (lower bound): a register only holds when the
          previous row or the current literal accounts for it. *)
-      Sat.add_clause solver [ not_s i 0; s (i - 1) 0; lits.(i) ];
+      add ?guard solver [ not_s i 0; s (i - 1) 0; lits.(i) ];
       for j = 1 to k - 1 do
-        Sat.add_clause solver
+        add ?guard solver
           [ Lit.negate lits.(i); not_s (i - 1) (j - 1); s i j ];
-        Sat.add_clause solver [ not_s (i - 1) j; s i j ];
-        Sat.add_clause solver [ not_s i j; s (i - 1) j; lits.(i) ];
-        Sat.add_clause solver [ not_s i j; s (i - 1) j; s (i - 1) (j - 1) ]
+        add ?guard solver [ not_s (i - 1) j; s i j ];
+        add ?guard solver [ not_s i j; s (i - 1) j; lits.(i) ];
+        add ?guard solver [ not_s i j; s (i - 1) j; s (i - 1) (j - 1) ]
       done;
       (* Overflow: a true literal on a saturated row would exceed k. *)
-      Sat.add_clause solver [ Lit.negate lits.(i); not_s (i - 1) (k - 1) ]
+      add ?guard solver [ Lit.negate lits.(i); not_s (i - 1) (k - 1) ]
     done;
     (* Last literal: cannot overflow, and must close the k-th register. *)
-    Sat.add_clause solver [ Lit.negate lits.(n - 1); not_s (n - 2) (k - 1) ];
-    Sat.add_clause solver [ s (n - 2) (k - 1); lits.(n - 1) ];
+    add ?guard solver [ Lit.negate lits.(n - 1); not_s (n - 2) (k - 1) ];
+    add ?guard solver [ s (n - 2) (k - 1); lits.(n - 1) ];
     if k >= 2 then
-      Sat.add_clause solver [ s (n - 2) (k - 1); s (n - 2) (k - 2) ]
+      add ?guard solver [ s (n - 2) (k - 1); s (n - 2) (k - 2) ]
   end

@@ -1,13 +1,19 @@
 (** Cardinality constraints over literals, via the sequential-counter
     (Sinz 2005) encoding.  Auxiliary variables are allocated from the given
     solver.  The port-mapping encoding uses these to pin each µop's number
-    of admissible ports to the value measured from its throughput. *)
+    of admissible ports to the value measured from its throughput.
 
-val at_most : Sat.t -> Lit.t list -> int -> unit
+    With [?guard] every emitted clause is prepended with the guard literal,
+    making the constraint conditional: pass the negation of an activation
+    variable and the chain only binds while that variable is assumed true.
+    Delta-mode encodings ({!Pmi_core.Encoding}) use this to retire a row's
+    cardinality constraints with a single unit clause. *)
+
+val at_most : ?guard:Lit.t -> Sat.t -> Lit.t list -> int -> unit
 (** [at_most s lits k] asserts that at most [k] of [lits] are true. *)
 
-val at_least : Sat.t -> Lit.t list -> int -> unit
+val at_least : ?guard:Lit.t -> Sat.t -> Lit.t list -> int -> unit
 (** [at_least s lits k] asserts that at least [k] of [lits] are true. *)
 
-val exactly : Sat.t -> Lit.t list -> int -> unit
+val exactly : ?guard:Lit.t -> Sat.t -> Lit.t list -> int -> unit
 (** [exactly s lits k] asserts that exactly [k] of [lits] are true. *)

@@ -271,14 +271,26 @@ let c_cube_export = Obs.counter "sat.cube.pool.exported"
 let c_cube_import = Obs.counter "sat.cube.pool.imported"
 let c_cube_solved = Obs.counter "sat.cube.solved"
 let c_cube_resplit = Obs.counter "sat.cube.resplit"
+let c_cube_requeue = Obs.counter "sat.cube.requeued"
 
-(* A cube that is still too hard after this many re-splits is solved to
-   completion; together with the conflict budget this bounds the tree. *)
-let cube_max_splits = 8
+(* Adaptive re-split policy: exhausting a conflict budget no longer forces
+   a split.  A cube is deepened only when its conflict spend marks the
+   subspace as hard — at least [cube_hard_factor] times the average spend
+   of the cubes already resolved this round (the budget itself while none
+   has resolved yet); an easy-but-unlucky cube is requeued whole with a
+   doubled budget instead, so the split tree only grows where the
+   conflicts are.  [cube_split_cap] bounds the depth as a safety net. *)
+let cube_split_cap = 16
+let cube_hard_factor = 2
 
-let cube_cover ?(hint = []) ~k sat =
+let cube_cover ?(hint = []) ?(assumptions = []) ~k sat =
   let k = max 0 k in
   let seen = Hashtbl.create 16 in
+  (* Assumption variables are pinned for the whole call — in delta-mode
+     CEGIS these are the frozen µop pins and the rows' activation
+     literals — so splitting on one would produce a dead half-cube.
+     Pre-seeding [seen] excludes them from hint and ranking alike. *)
+  List.iter (fun l -> Hashtbl.replace seen (Lit.var l) ()) assumptions;
   let picked = ref [] in
   let n = ref 0 in
   let consider v =
@@ -295,7 +307,9 @@ let cube_cover ?(hint = []) ~k sat =
      most-constrained instruction classes), then the solver's own
      activity/occurrence ranking tops the selection up to [k]. *)
   List.iter consider hint;
-  if !n < k then List.iter consider (Sat.most_constrained_vars sat (k + !n));
+  if !n < k then
+    List.iter consider
+      (Sat.most_constrained_vars sat (k + !n + List.length assumptions));
   let vars = List.rev !picked in
   List.map List.rev
     (List.fold_left
@@ -393,7 +407,7 @@ let solve_cubes ?(assumptions = []) ?(max_rounds = 100_000) ?domains
                None)
         in
         Race.touch_read parent_loc;
-        let cover = cube_cover ~hint:(hint ()) ~k:cubes sat in
+        let cover = cube_cover ~hint:(hint ()) ~assumptions ~k:cubes sat in
         let n_cubes = List.length cover in
         if n_cubes <= 1 then begin
           (* No free split variable (tiny or root-decided instance): the
@@ -414,9 +428,13 @@ let solve_cubes ?(assumptions = []) ?(max_rounds = 100_000) ?domains
              re-split any cube) and shared clause pool (continuous low-glue
              export/import between live workers). *)
           let queue = Queue.create () in
-          List.iter (fun c -> Queue.add (0, c) queue) cover;
+          List.iter (fun c -> Queue.add (0, conflict_budget, c) queue) cover;
           let outstanding = ref n_cubes in
           let unsat_leaves = ref [] in
+          (* Running spend of resolved cubes, the baseline the adaptive
+             re-split policy compares an exhausted cube against. *)
+          let solved_spend = ref 0 in
+          let solved_count = ref 0 in
           let pool = ref [] in (* (owner, lbd, lits), newest first *)
           let pool_len = ref 0 in
           let stamp = Race.tracked_atomic ~name:"cubes.stamp" 0 in
@@ -494,34 +512,66 @@ let solve_cubes ?(assumptions = []) ?(max_rounds = 100_000) ?domains
                             if !outstanding = 0 then `Done else `Wait
                           else `Cube (Queue.pop queue))
                     in
-                    let resolve_unsat cube =
+                    let resolve_unsat spent cube =
                       Race.with_lock queue_lock (fun () ->
                           Race.touch_write queue_loc;
                           unsat_leaves := cube :: !unsat_leaves;
+                          solved_spend := !solved_spend + spent;
+                          incr solved_count;
                           decr outstanding)
                     in
-                    let resplit splits cube =
-                      if Obs.enabled () then Obs.incr c_cube_resplit;
-                      let used = List.map Lit.var (assumptions @ cube) in
-                      let fresh =
-                        List.find_opt
-                          (fun v -> not (List.mem v used))
-                          (Sat.most_constrained_vars c (List.length used + 1))
+                    (* Adaptive deepening: an exhausted cube is split only
+                       when its spend says the subspace is hard relative to
+                       the cubes already resolved; otherwise (or at the
+                       split cap) the same cube is requeued whole with a
+                       doubled budget. *)
+                    let resplit_or_requeue splits budget spent cube =
+                      let hard =
+                        Race.with_lock queue_lock (fun () ->
+                            Race.touch_read queue_loc;
+                            let avg =
+                              if !solved_count = 0 then conflict_budget
+                              else !solved_spend / !solved_count
+                            in
+                            spent >= cube_hard_factor * max 1 avg)
                       in
-                      Race.with_lock queue_lock (fun () ->
-                          Race.touch_write queue_loc;
-                          match fresh with
-                          | Some v ->
-                            Queue.add (splits + 1, cube @ [ Lit.pos v ])
-                              queue;
-                            Queue.add
-                              (splits + 1, cube @ [ Lit.neg_of_var v ])
-                              queue;
-                            incr outstanding
-                          | None ->
-                            (* No unassigned variable outside the cube:
-                               requeue for an unbudgeted solve. *)
-                            Queue.add (cube_max_splits, cube) queue)
+                      if hard && splits < cube_split_cap then begin
+                        if Obs.enabled () then Obs.incr c_cube_resplit;
+                        let used = List.map Lit.var (assumptions @ cube) in
+                        let fresh =
+                          List.find_opt
+                            (fun v -> not (List.mem v used))
+                            (Sat.most_constrained_vars c
+                               (List.length used + 1))
+                        in
+                        Race.with_lock queue_lock (fun () ->
+                            Race.touch_write queue_loc;
+                            match fresh with
+                            | Some v ->
+                              Queue.add
+                                (splits + 1, conflict_budget,
+                                 cube @ [ Lit.pos v ])
+                                queue;
+                              Queue.add
+                                (splits + 1, conflict_budget,
+                                 cube @ [ Lit.neg_of_var v ])
+                                queue;
+                              incr outstanding
+                            | None ->
+                              (* No unassigned variable outside the cube:
+                                 requeue for an unbudgeted solve. *)
+                              Queue.add (splits, max_int, cube) queue)
+                      end
+                      else begin
+                        if Obs.enabled () then Obs.incr c_cube_requeue;
+                        let budget' =
+                          if budget >= max_int / 2 then max_int
+                          else 2 * budget
+                        in
+                        Race.with_lock queue_lock (fun () ->
+                            Race.touch_write queue_loc;
+                            Queue.add (splits, budget', cube) queue)
+                      end
                     in
                     let rec work () =
                       if stop () then None
@@ -531,16 +581,15 @@ let solve_cubes ?(assumptions = []) ?(max_rounds = 100_000) ?domains
                         | `Wait ->
                           Domain.cpu_relax ();
                           work ()
-                        | `Cube (splits, cube) ->
+                        | `Cube (splits, budget, cube) ->
                           importers.(w) ();
-                          let budgeted = splits < cube_max_splits in
+                          let budgeted = budget < max_int in
                           let start = Sat.num_conflicts c in
                           let exceeded = ref false in
                           let stop' () =
                             stop ()
                             || budgeted
-                               && Sat.num_conflicts c - start
-                                  >= conflict_budget
+                               && Sat.num_conflicts c - start >= budget
                                && begin
                                  exceeded := true;
                                  true
@@ -557,17 +606,18 @@ let solve_cubes ?(assumptions = []) ?(max_rounds = 100_000) ?domains
                                    ~assumptions:(assumptions @ cube)
                                    ~stop:stop' c)
                           in
+                          let spent = Sat.num_conflicts c - start in
                           (match verdict with
                            | Some (Sat.Sat model) ->
                              if Obs.enabled () then Obs.incr c_cube_solved;
                              Some (w, model)
                            | Some Sat.Unsat ->
                              if Obs.enabled () then Obs.incr c_cube_solved;
-                             resolve_unsat cube;
+                             resolve_unsat spent cube;
                              work ()
                            | None ->
                              if !exceeded && not (stop ()) then begin
-                               resplit splits cube;
+                               resplit_or_requeue splits budget spent cube;
                                work ()
                              end
                              else None)

@@ -50,13 +50,18 @@ val solve_portfolio :
 
 (** {1 Cube-and-conquer} *)
 
-val cube_cover : ?hint:int list -> k:int -> Sat.t -> Lit.t list list
+val cube_cover :
+  ?hint:int list -> ?assumptions:Lit.t list -> k:int -> Sat.t ->
+  Lit.t list list
 (** An exhaustive, pairwise-disjoint cover of the search space: pick up to
     [k] split variables — the [hint] list first (callers pass the port-set
     variables of the most-constrained instruction classes), topped up by
     {!Sat.most_constrained_vars} — and enumerate every assignment of them
     as an assumption cube.  Variables already decided at the root are
-    skipped; with no usable variable the cover is the single empty cube. *)
+    skipped, as are the variables of [assumptions] (delta-mode CEGIS pins
+    frozen rows and activation literals through assumptions — splitting on
+    one would yield a dead half-cube); with no usable variable the cover
+    is the single empty cube. *)
 
 val solve_cubes :
   ?assumptions:Lit.t list ->
@@ -72,13 +77,18 @@ val solve_cubes :
     into [2^cubes] assumption cubes ({!cube_cover}, re-querying [hint]
     each round so the split follows the evolving VSIDS activity), and
     [min domains 8] diversified clones of the persistent solver pull cubes
-    off a shared work queue.  A cube still open after [conflict_budget]
-    conflicts is re-split on the claiming worker's most active free
-    variable and both halves go back on the queue for any worker to steal.
-    Workers continuously export their low-glue learnt clauses to a
-    lock-protected shared pool and import their peers' clauses at restart
-    boundaries, so hard cubes benefit from every worker's progress while
-    all of them are still running.
+    off a shared work queue.  The queue is {e adaptive}: a cube still open
+    after its conflict budget (initially [conflict_budget]) is re-split on
+    the claiming worker's most active free variable {e only} when its
+    conflict spend is at least twice the average spend of the cubes already
+    resolved this round — evidence the subspace is genuinely hard — with
+    both halves going back on the queue for any worker to steal; an
+    easy-but-unlucky cube is instead requeued whole with a doubled budget,
+    so the split tree only deepens where the conflicts are (depth is capped
+    at 16 splits as a safety net).  Workers continuously export their
+    low-glue learnt clauses to a lock-protected shared pool and import
+    their peers' clauses at restart boundaries, so hard cubes benefit from
+    every worker's progress while all of them are still running.
 
     A SAT cube short-circuits the race through the pool's [stop] protocol
     and its model is a model of the full problem.  When every cube is

@@ -435,6 +435,40 @@ let test_cube_cover_hint () =
     [ v.(3); v.(1) ]
     (List.map Lit.var (List.hd cover))
 
+let test_cube_cover_assumptions () =
+  (* Assumption variables must never be split on: delta-mode CEGIS pins
+     frozen rows and activation literals through assumptions, and a split
+     on one would yield a dead half-cube.  The cover skips them and tops
+     itself up with free variables instead. *)
+  let s = Sat.create () in
+  let v = Array.init 6 (fun _ -> Sat.fresh_var s) in
+  Sat.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  Sat.add_clause s [ Lit.neg_of_var v.(0); Lit.pos v.(1) ];
+  Sat.add_clause s [ Lit.pos v.(2); Lit.pos v.(3) ];
+  Sat.add_clause s [ Lit.pos v.(4); Lit.pos v.(5) ];
+  let assumptions = [ Lit.pos v.(0); Lit.neg_of_var v.(1) ] in
+  let cover =
+    Solver.cube_cover ~hint:[ v.(0); v.(1); v.(2); v.(3) ] ~assumptions ~k:2 s
+  in
+  Alcotest.(check int) "4 cubes" 4 (List.length cover);
+  Alcotest.(check (list int)) "hinted vars minus assumption vars"
+    [ v.(2); v.(3) ]
+    (List.map Lit.var (List.hd cover));
+  (* Same without a hint: the most-constrained top-up must also skip the
+     assumption variables. *)
+  let cover' = Solver.cube_cover ~assumptions ~k:2 s in
+  List.iter
+    (fun c ->
+       List.iter
+         (fun l ->
+            List.iter
+              (fun a ->
+                 Alcotest.(check bool) "assumption var not split" false
+                   (Lit.var a = Lit.var l))
+              assumptions)
+         c)
+    cover'
+
 let test_cubes_pigeonhole () =
   (* UNSAT through the cube race, with a conflict budget small enough that
      hard cubes are re-split and re-queued. *)
@@ -914,6 +948,8 @@ let () =
        [ Alcotest.test_case "cover is exhaustive and disjoint" `Quick
            test_cube_cover;
          Alcotest.test_case "cover honours hints" `Quick test_cube_cover_hint;
+         Alcotest.test_case "cover skips assumption variables" `Quick
+           test_cube_cover_assumptions;
          Alcotest.test_case "re-split on pigeonhole 7/6" `Slow
            test_cubes_pigeonhole;
          Alcotest.test_case "sat short-circuit" `Quick test_cubes_sat;
