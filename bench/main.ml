@@ -77,7 +77,8 @@ let reduced_harness () =
 
 let cegis_toy ?(incremental_sat = true) ?(memoized_oracle = true)
     ?(clause_db_reduction = true) ?(domains = 1) ?(cube_conquer = 0)
-    ?(certify = false) ~symmetry_breaking ~max_size () =
+    ?(certify = false) ?(enclint = false) ?(enclint_simplify = false)
+    ~symmetry_breaking ~max_size () =
   let truth = Mapping.create ~num_ports:3 in
   Mapping.set truth toy_add [ (Portset.of_list [ 0; 1 ], 1) ];
   Mapping.set truth toy_mul [ (Portset.of_list [ 1; 2 ], 1) ];
@@ -86,7 +87,8 @@ let cegis_toy ?(incremental_sat = true) ?(memoized_oracle = true)
     { Cegis.default_config with
       Cegis.num_ports = 3; r_max = 4; max_experiment_size = max_size;
       symmetry_breaking; incremental_sat; memoized_oracle;
-      clause_db_reduction; domains; cube_conquer; certify }
+      clause_db_reduction; domains; cube_conquer; certify; enclint;
+      enclint_simplify }
   in
   let measure e = Cegis.modeled_inverse config truth e in
   let specs =
@@ -208,6 +210,18 @@ let cubes_pigeonhole ~pigeons ~holes =
 
 let solve_pigeonhole ~pigeons ~holes =
   ignore (solve_pigeonhole_sub ~proof:false ~pigeons ~holes)
+
+(* The certified-simplification A/B: EncLint's subsumption/SSR/BCE pass
+   over the same UNSAT workhorse before solving.  Its baseline partner is
+   sat/pigeonhole-8-7 — the simplification must pay for itself (or at
+   least stay within noise) on the end-to-end wall-clock. *)
+let simplify_pigeonhole ~pigeons ~holes =
+  let open Pmi_smt in
+  let s = pigeonhole_cnf ~proof:false ~pigeons ~holes in
+  ignore (Pmi_analysis.Enclint.simplify s);
+  match Sat.solve s with
+  | Sat.Unsat -> ()
+  | Sat.Sat _ -> failwith "bench: pigeonhole must be unsat"
 
 let certify_pigeonhole ~pigeons ~holes =
   let s = solve_pigeonhole_sub ~proof:true ~pigeons ~holes in
@@ -479,6 +493,18 @@ let ablation_tests =
         certify_pigeonhole ~pigeons:7 ~holes:6);
     ("ablation/cegis-certified", fun () ->
         ignore (cegis_toy ~certify:true ~symmetry_breaking:true ~max_size:4 ()));
+    (* EncLint: the solver-off static analyzer gating every solver episode
+       (structural checks per episode, exhaustive cardinality-cone
+       verification once per network shape).  The analysis tax over the
+       identical ungated run must stay small — the gate is a debugging
+       aid, not a solver pass.  The simplify bench pairs with
+       sat/pigeonhole-8-7 above. *)
+    ("ablation/enclint-off-cegis", fun () ->
+        ignore (cegis_toy ~symmetry_breaking:true ~max_size:4 ()));
+    ("ablation/enclint-on-cegis", fun () ->
+        ignore (cegis_toy ~enclint:true ~symmetry_breaking:true ~max_size:4 ()));
+    ("ablation/simplify-php-8-7", fun () ->
+        simplify_pigeonhole ~pigeons:8 ~holes:7);
     (* Concurrency sanitizer: the same 4-clone portfolio solve with the
        race detector off (the shipping default — one predicted branch per
        instrumentation point, so this must stay within noise of the PR 3

@@ -54,6 +54,12 @@ let certify = ref false
    2^K assumption cubes.  Implies a multi-domain solver pool. *)
 let cubes = ref 0
 
+(* [--enclint] / [--enclint-simplify]: gate every CEGIS solver episode
+   behind the static encoding analyzer, optionally running the certified
+   simplification on the clause database first. *)
+let enclint_on = ref false
+let enclint_simplify_on = ref false
+
 let make_cegis_config () =
   let base = Pipeline.default_config.Pipeline.cegis in
   let domains =
@@ -68,7 +74,9 @@ let make_cegis_config () =
     Pmi_core.Cegis.dump_cnf = !cnf_prefix;
     Pmi_core.Cegis.certify = !certify;
     Pmi_core.Cegis.cube_conquer = !cubes;
-    Pmi_core.Cegis.domains = domains }
+    Pmi_core.Cegis.domains = domains;
+    Pmi_core.Cegis.enclint = !enclint_on || !enclint_simplify_on;
+    Pmi_core.Cegis.enclint_simplify = !enclint_simplify_on }
 
 let run_pipeline ~reduced ~seed =
   let harness = make_harness ~reduced ~seed in
@@ -645,6 +653,121 @@ let lint_files files json reduced _seed =
   if Diag.errors diags <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* EncLint: the static analysis pass over the CEGIS encodings           *)
+(* ------------------------------------------------------------------ *)
+
+module Enclint = Pmi_analysis.Enclint
+
+(* [pmi_repro enclint] analyzes the built-in encoding shapes — a
+   creation-time encoding with symmetry breaking, and a delta session
+   after an append/retire/re-append cycle — plus one encoding rebuilt
+   from each mapping file given on the command line.  With [--simplify]
+   the certified simplification runs first, so the analysis also vets the
+   simplifier's output. *)
+let enclint_run files simplify json reduced _seed =
+  let module Encoding = Pmi_core.Encoding in
+  let catalog =
+    if reduced > 0 then Catalog.reduced ~per_bucket:reduced ()
+    else Catalog.zen_plus ()
+  in
+  let analyze_encoding ?frozen ?accepted subject encoding =
+    let sat = Encoding.sat encoding in
+    if simplify then begin
+      let st =
+        Enclint.simplify ~protect:(Encoding.protected_vars encoding) sat
+      in
+      if Enclint.total st > 0 then
+        Format.eprintf
+          "%s: simplified %d clause(s) (%d satisfied, %d subsumed, %d \
+           strengthened, %d blocked)@."
+          subject (Enclint.total st) st.Enclint.satisfied_removed
+          st.Enclint.subsumed_removed st.Enclint.strengthened
+          st.Enclint.blocked_removed
+    end;
+    Enclint.analyze sat (Encoding.enclint_view ?frozen ?accepted encoding)
+  in
+  let toy_schemes () =
+    let toy =
+      Catalog.of_list
+        [ ("add", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+           Iclass.plain (Iclass.Single Iclass.Alu));
+          ("mul", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+           Iclass.plain (Iclass.Single Iclass.Alu));
+          ("fma", [ Operand.gpr 64; Operand.gpr ~access:Operand.Read 64 ],
+           Iclass.plain (Iclass.Single Iclass.Alu)) ]
+    in
+    (Catalog.find toy 0, Catalog.find toy 1, Catalog.find toy 2)
+  in
+  let creation () =
+    let add, mul, fma = toy_schemes () in
+    let encoding =
+      Encoding.create ~num_ports:3 ~symmetry_breaking:true
+        [ (add, Encoding.Proper 2); (mul, Encoding.Proper 2);
+          (fma, Encoding.Proper 1) ]
+    in
+    analyze_encoding "encoding(creation)" encoding
+  in
+  let delta () =
+    let add, mul, fma = toy_schemes () in
+    let encoding = Encoding.create ~num_ports:3 ~symmetry_breaking:false [] in
+    Encoding.append_row encoding add (Encoding.Proper 2);
+    Encoding.append_row encoding mul (Encoding.Proper 2);
+    Encoding.append_row encoding fma (Encoding.Proper 1);
+    Encoding.retire_row encoding mul;
+    Encoding.append_row encoding mul (Encoding.Proper 3);
+    analyze_encoding "encoding(delta append/retire)"
+      ~frozen:(Encoding.row_assumptions encoding) encoding
+  in
+  let from_file path =
+    if not (Sys.file_exists path) then
+      [ Diag.make "mapping-file-missing" Diag.Error path "no such file" ]
+    else begin
+      let ic = open_in path in
+      let result =
+        Pmi_portmap.Mapping_io.read
+          ~resolve:(Pmi_portmap.Mapping_io.resolver catalog) ic
+      in
+      close_in ic;
+      match result with
+      | Error e ->
+        [ Diag.make "mapping-parse-error" Diag.Error path "line %d: %s"
+            e.Pmi_portmap.Mapping_io.line e.Pmi_portmap.Mapping_io.message ]
+      | Ok m ->
+        (* Rebuild the encoding the mapping's proper rows imply: each
+           single-µop scheme contributes a [Proper] row with the port
+           count the mapping declares.  Multi-µop rows need the selector
+           machinery and are skipped in a file-driven rebuild. *)
+        let specs =
+          List.filter_map
+            (fun s ->
+               match Mapping.usage m s with
+               | [ (ports, 1) ] ->
+                 Some
+                   ( s,
+                     Encoding.Proper
+                       (List.length (Pmi_portmap.Portset.to_list ports)) )
+               | _ -> None)
+            (Mapping.schemes m)
+        in
+        if specs = [] then
+          [ Diag.make "enclint-no-proper-rows" Diag.Warning path
+              "no single-µop rows; nothing to encode" ]
+        else
+          let encoding =
+            Encoding.create ~num_ports:(Mapping.num_ports m)
+              ~symmetry_breaking:false specs
+          in
+          analyze_encoding ~accepted:m
+            (Printf.sprintf "encoding(%s)" path)
+            encoding
+    end
+  in
+  let diags = creation () @ delta () @ List.concat_map from_file files in
+  Diag.print_all ~json diags;
+  prerr_endline (Diag.summary ~pass:"enclint" diags);
+  if Diag.errors diags <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Sanitize: the dynamic concurrency pass over the parallel stack       *)
 (* ------------------------------------------------------------------ *)
 
@@ -980,6 +1103,20 @@ let cubes_flag =
              multi-domain solver pool; 0 keeps the portfolio." in
   Arg.(value & opt int 0 & info [ "cubes" ] ~docv:"K" ~doc)
 
+let enclint_global_flag =
+  let doc = "Statically analyze every CEGIS encoding before each solver \
+             episode (guard structure, cardinality-network bounds, \
+             retired-row reachability, cube-split hints); an \
+             error-severity finding aborts the run." in
+  Arg.(value & flag & info [ "enclint" ] ~doc)
+
+let enclint_simplify_flag =
+  let doc = "Run the DRAT-certified simplification (subsumption, \
+             self-subsuming resolution, blocked-clause elimination) on \
+             each CEGIS encoding before its solver episode.  Implies \
+             $(b,--enclint)." in
+  Arg.(value & flag & info [ "enclint-simplify" ] ~doc)
+
 let trace_out =
   let doc = "Record a telemetry trace of the run (CEGIS iterations, solver \
              calls, oracle searches, harness measurements) and write it to \
@@ -993,19 +1130,22 @@ let metrics =
              finishes." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-let with_logs f reduced seed verbose dump_cnf certify_opt cubes_opt trace
-    metrics =
+let with_logs f reduced seed verbose dump_cnf certify_opt cubes_opt
+    enclint_opt enclint_simplify_opt trace metrics =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   setup_obs ~trace ~metrics;
   cnf_prefix := dump_cnf;
   certify := certify_opt;
   cubes := cubes_opt;
+  enclint_on := enclint_opt;
+  enclint_simplify_on := enclint_simplify_opt;
   f reduced seed
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf
-          $ certify_flag $ cubes_flag $ trace_out $ metrics)
+          $ certify_flag $ cubes_flag $ enclint_global_flag
+          $ enclint_simplify_flag $ trace_out $ metrics)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1039,11 +1179,14 @@ let () =
                         full re-inference (per-flush latency, speedup, and \
                         a mapping-equivalence report)")
                Term.(const (fun stream_n batch reduced seed verbose dump_cnf
-                             certify cubes trace metrics ->
+                             certify cubes enclint enclint_simplify trace
+                             metrics ->
                    with_logs (delta_stream stream_n batch) reduced seed
-                     verbose dump_cnf certify cubes trace metrics)
+                     verbose dump_cnf certify cubes enclint enclint_simplify
+                     trace metrics)
                      $ stream_n $ batch $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag $ cubes_flag $ trace_out $ metrics));
+                     $ certify_flag $ cubes_flag $ enclint_global_flag
+                     $ enclint_simplify_flag $ trace_out $ metrics));
             cmd "export" "Infer the port mapping and write it to a file" export;
             cmd "diff" "Compare the inferred mapping with the documentation" diff;
             cmd "report" "Write a markdown report of the whole study" report;
@@ -1055,11 +1198,13 @@ let () =
                (Cmd.info "analyze"
                   ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             cubes trace metrics ->
+                             cubes enclint enclint_simplify trace metrics ->
                    with_logs (analyze_block insns) reduced seed verbose
-                     dump_cnf certify cubes trace metrics)
+                     dump_cnf certify cubes enclint enclint_simplify trace
+                     metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag $ cubes_flag $ trace_out $ metrics));
+                     $ certify_flag $ cubes_flag $ enclint_global_flag
+                     $ enclint_simplify_flag $ trace_out $ metrics));
             (let insns =
                let doc = "Instruction scheme (name or unique prefix); repeatable." in
                Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
@@ -1069,11 +1214,13 @@ let () =
                   ~doc:"Show the explanatory microbenchmarks behind a scheme's \
                         inferred port usage")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             cubes trace metrics ->
+                             cubes enclint enclint_simplify trace metrics ->
                    with_logs (explain_scheme insns) reduced seed verbose
-                     dump_cnf certify cubes trace metrics)
+                     dump_cnf certify cubes enclint enclint_simplify trace
+                     metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag $ cubes_flag $ trace_out $ metrics));
+                     $ certify_flag $ cubes_flag $ enclint_global_flag
+                     $ enclint_simplify_flag $ trace_out $ metrics));
             (let files =
                let doc = "Port-mapping file(s) in the export format, linted \
                           in addition to the built-in profiles, catalog and \
@@ -1091,11 +1238,48 @@ let () =
                         ground-truth mappings (plus optional mapping files); \
                         exits non-zero on any error-severity diagnostic")
                Term.(const (fun files json reduced seed verbose dump_cnf
-                             certify cubes trace metrics ->
+                             certify cubes enclint enclint_simplify trace
+                             metrics ->
                    with_logs (lint_files files json) reduced seed verbose
-                     dump_cnf certify cubes trace metrics)
+                     dump_cnf certify cubes enclint enclint_simplify trace
+                     metrics)
                      $ files $ json $ reduced $ seed $ verbose $ dump_cnf
-                     $ certify_flag $ cubes_flag $ trace_out $ metrics));
+                     $ certify_flag $ cubes_flag $ enclint_global_flag
+                     $ enclint_simplify_flag $ trace_out $ metrics));
+            (let files =
+               let doc = "Port-mapping file(s) whose implied encodings are \
+                          analyzed in addition to the built-in shapes; \
+                          repeatable." in
+               Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+             in
+             let simplify =
+               let doc = "Run the DRAT-certified simplification on each \
+                          encoding before analyzing it." in
+               Arg.(value & flag & info [ "simplify" ] ~doc)
+             in
+             let json =
+               let doc = "Emit one JSON object per diagnostic instead of \
+                          human-readable text (same schema as `lint \
+                          --json`)." in
+               Arg.(value & flag & info [ "json" ] ~doc)
+             in
+             Cmd.v
+               (Cmd.info "enclint"
+                  ~doc:"Statically analyze the CEGIS encodings (guard \
+                        structure, cardinality-network bounds, retired-row \
+                        reachability, cube-split hints) without running the \
+                        solver; exits non-zero on any error-severity \
+                        diagnostic")
+               Term.(const (fun files simplify json reduced seed verbose
+                             dump_cnf certify cubes enclint enclint_simplify
+                             trace metrics ->
+                   with_logs (enclint_run files simplify json) reduced seed
+                     verbose dump_cnf certify cubes enclint enclint_simplify
+                     trace metrics)
+                     $ files $ simplify $ json $ reduced $ seed $ verbose
+                     $ dump_cnf $ certify_flag $ cubes_flag
+                     $ enclint_global_flag $ enclint_simplify_flag
+                     $ trace_out $ metrics));
             (let schedules =
                let doc = "Number of deterministic replay schedules to shake \
                           each parallel workload through (capped at the \
@@ -1122,9 +1306,12 @@ let () =
                         OS scheduling and deterministic schedule replay; \
                         exits non-zero on any data race")
                Term.(const (fun schedules plant json reduced seed verbose
-                             dump_cnf certify cubes trace metrics ->
+                             dump_cnf certify cubes enclint enclint_simplify
+                             trace metrics ->
                    with_logs (sanitize schedules plant json) reduced seed
-                     verbose dump_cnf certify cubes trace metrics)
+                     verbose dump_cnf certify cubes enclint enclint_simplify
+                     trace metrics)
                      $ schedules $ plant $ json $ reduced $ seed $ verbose
-                     $ dump_cnf $ certify_flag $ cubes_flag $ trace_out
-                     $ metrics)) ]))
+                     $ dump_cnf $ certify_flag $ cubes_flag
+                     $ enclint_global_flag $ enclint_simplify_flag
+                     $ trace_out $ metrics)) ]))

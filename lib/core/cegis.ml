@@ -16,6 +16,8 @@ let c_lemmas = Obs.counter "cegis.theory_lemmas"
 let c_certificates = Obs.counter "cegis.certificates_checked"
 let c_candidates = Obs.counter "cegis.candidates_tried"
 let c_observations = Obs.counter "cegis.observations"
+let c_enclint_findings = Obs.counter "cegis.enclint.findings"
+let c_enclint_removed = Obs.counter "cegis.enclint.clauses_removed"
 
 (* Sanitizer shadow locations for the two Vecs every CEGIS phase shares:
    the observation log (read by parallel validation sweeps, written only
@@ -44,9 +46,12 @@ type config = {
   clause_db_reduction : bool;
   dump_cnf : string option;
   certify : bool;
+  enclint : bool;
+  enclint_simplify : bool;
 }
 
 exception Certification_failure of string
+exception Enclint_failure of string
 
 let default_config =
   { num_ports = 10;
@@ -62,7 +67,9 @@ let default_config =
     cube_conquer = 0;
     clause_db_reduction = true;
     dump_cnf = None;
-    certify = false }
+    certify = false;
+    enclint = false;
+    enclint_simplify = false }
 
 type observation = {
   experiment : Experiment.t;
@@ -141,6 +148,91 @@ let fresh_encoding config specs pool =
   Race.touch_read lemma_loc;
   Vec.iter (Pmi_smt.Sat.add_clause (Encoding.sat encoding)) pool;
   encoding
+
+(* Static gate on a constructed encoding (behind [config.enclint]): run
+   the EncLint analysis — optionally preceded by the certified
+   simplification — once per solver episode, before the episode's first
+   solve.  Two caches keep the gate sub-linear over a CEGIS run:
+
+   - [enclint_cone_memo] is handed to the analyzer, which memoizes clean
+     exhaustive cardinality-cone enumerations by network shape (the
+     [Card] builder is deterministic), so shapes verified once are not
+     re-enumerated — neither on later episodes of the same solver nor
+     when a fresh same-spec encoding rebuilds them, as the §4.3 culprit
+     search does once per [explain] call.
+   - [enclint_db_seen] maps [Sat.id] to the retired-row signature under
+     which the clause-database passes (dead vars, duplicates, retired
+     reachability, frozen-unused) last ran.  Those passes only change
+     when the database does structurally: a new solver, a retirement, or
+     a simplification that removed clauses; episodes in between run the
+     view-layer checks only. *)
+let enclint_cone_memo : (string, unit) Hashtbl.t = Hashtbl.create 64
+let enclint_db_seen : (int, string) Hashtbl.t = Hashtbl.create 16
+
+(* [lemmas] is a thunk so the (possibly large) pool-to-list conversion
+   is only paid when the gate is actually on. *)
+let enclint_gate config ?lemmas ?frozen encoding =
+  if config.enclint then
+    Obs.span "cegis.enclint" @@ fun () ->
+    let sat = Encoding.sat encoding in
+    let lemmas = Option.map (fun f -> f ()) lemmas in
+    let view = Encoding.enclint_view ?lemmas ?frozen encoding in
+    let retired_sig =
+      String.concat ";"
+        (List.filter_map
+           (fun (r : Pmi_analysis.Enclint.row) ->
+              if r.Pmi_analysis.Enclint.live then None
+              else Some r.Pmi_analysis.Enclint.subject)
+           view.Pmi_analysis.Enclint.rows)
+    in
+    let db =
+      match Hashtbl.find_opt enclint_db_seen (Pmi_smt.Sat.id sat) with
+      | Some s when s = retired_sig -> false
+      | _ -> true
+    in
+    (* Simplification rides the same trigger as the database passes: the
+       subsumption/SSR/BCE sweep is only worth its cost when the database
+       changed structurally, so it runs on a solver's first episode and
+       after each retirement (lemmas added in between wait for the next
+       trigger) — and the analysis below scans the post-simplify
+       database. *)
+    if db && config.enclint_simplify then begin
+      let stats =
+        Obs.span "cegis.enclint.simplify" (fun () ->
+            Pmi_analysis.Enclint.simplify
+              ~protect:(Encoding.protected_vars encoding) sat)
+      in
+      let removed = Pmi_analysis.Enclint.total stats in
+      Obs.add c_enclint_removed removed;
+      if removed > 0 then
+        Log.debug (fun m ->
+            m "enclint: simplified %d clause(s) (%d satisfied, %d subsumed, \
+               %d strengthened, %d blocked)"
+              removed stats.Pmi_analysis.Enclint.satisfied_removed
+              stats.Pmi_analysis.Enclint.subsumed_removed
+              stats.Pmi_analysis.Enclint.strengthened
+              stats.Pmi_analysis.Enclint.blocked_removed)
+    end;
+    if db then
+      Hashtbl.replace enclint_db_seen (Pmi_smt.Sat.id sat) retired_sig;
+    let diags =
+      Obs.span "cegis.enclint.analyze" (fun () ->
+          Pmi_analysis.Enclint.analyze ~cone_memo:enclint_cone_memo ~db sat
+            view)
+    in
+    Obs.add c_enclint_findings (List.length diags);
+    List.iter
+      (fun d -> Log.debug (fun m -> m "%s" (Pmi_diag.Diag.to_string d)))
+      diags;
+    match Pmi_diag.Diag.errors diags with
+    | [] -> ()
+    | errs ->
+      raise
+        (Enclint_failure
+           (Printf.sprintf "encoding rejected by enclint (%d error(s)): %s"
+              (List.length errs)
+              (String.concat "; "
+                 (List.map Pmi_diag.Diag.to_string errs))))
 
 (* Theory-level solving: cube-and-conquer when [cube_conquer] grants split
    variables, a diversified solver portfolio otherwise — both only when the
@@ -236,6 +328,7 @@ let certified_solve config encoding observations ?assumptions ~check () =
 
 let find_mapping config encoding observations pool =
   Obs.span "cegis.find_mapping" (fun () ->
+      enclint_gate config ~lemmas:(fun () -> Vec.to_list pool) encoding;
       let check = theory_check config encoding observations pool in
       match certified_solve config encoding observations ~check () with
       | Solver.Sat model -> Some (Encoding.decode encoding model)
@@ -420,6 +513,9 @@ let find_other_mapping_incremental config state specs observations pool m1
   @@ fun () ->
   sync_lemmas state pool;
   let encoding = state.o_encoding in
+  (* Gate before the per-call activation variable exists: it would read as
+     an allocated-but-unconstrained (dead) variable until first assumed. *)
+  enclint_gate config ~lemmas:(fun () -> Vec.to_list pool) encoding;
   let sat = Encoding.sat encoding in
   let act = Pmi_smt.Sat.fresh_var sat in
   let assumptions = [ Pmi_smt.Lit.pos act ] in
@@ -470,6 +566,7 @@ let find_other_mapping_fresh config specs observations pool m1 tried_counter
   Obs.span ~args:[ ("mode", Obs.Str "fresh") ] "cegis.find_other_mapping"
   @@ fun () ->
   let encoding = fresh_encoding config specs pool in
+  enclint_gate config ~lemmas:(fun () -> Vec.to_list pool) encoding;
   let sat = Encoding.sat encoding in
   let check = theory_check config encoding observations pool in
   let schemes = List.map fst specs in
@@ -746,6 +843,10 @@ let find_other_mapping_delta config encoding observations pool
     base_assumptions m1 tried_counter =
   Obs.span ~args:[ ("mode", Obs.Str "delta") ] "cegis.find_other_mapping"
   @@ fun () ->
+  enclint_gate config
+    ~lemmas:(fun () -> Vec.to_list pool)
+    ~frozen:base_assumptions
+    encoding;
   let sat = Encoding.sat encoding in
   let act = Pmi_smt.Sat.fresh_var sat in
   let assumptions = Pmi_smt.Lit.pos act :: base_assumptions in
@@ -974,6 +1075,9 @@ module Delta = struct
       in
       let find_mapping_assumed () =
         Obs.span "cegis.find_mapping" (fun () ->
+            enclint_gate config
+              ~lemmas:(fun () -> Vec.to_list session.d_pool)
+              ~frozen:assumptions encoding;
             let check =
               theory_check config encoding session.d_observations
                 session.d_pool

@@ -83,6 +83,32 @@ type config = {
                                    exact-rational oracle.  A failure raises
                                    {!Certification_failure} (default
                                    [false]) *)
+  enclint : bool;              (** run the solver-off static analyzer
+                                   ({!Pmi_analysis.Enclint.analyze}) over
+                                   each encoding once per solver episode —
+                                   before every [findMapping] /
+                                   [findOtherMapping] / delta-flush solve.
+                                   Structural checks (guards, duplicates,
+                                   retired-row reachability, split hints)
+                                   re-run each episode; the exhaustive
+                                   cardinality-cone verification is paid
+                                   once per solver instance.  Any
+                                   [Error]-severity finding raises
+                                   {!Enclint_failure}; findings are also
+                                   logged and tallied under the
+                                   [cegis.enclint.*] counters (default
+                                   [false]) *)
+  enclint_simplify : bool;     (** with [enclint], additionally run the
+                                   DRAT-certified simplification
+                                   ({!Pmi_analysis.Enclint.simplify}) on
+                                   the episode's clause database before
+                                   analyzing: subsumption, self-subsuming
+                                   resolution, and blocked-clause
+                                   elimination over the anonymous
+                                   auxiliary variables, with every rewrite
+                                   emitted into the proof trace so
+                                   [certify] verdicts still check (default
+                                   [false]) *)
 }
 
 exception Certification_failure of string
@@ -90,6 +116,13 @@ exception Certification_failure of string
     either a DRAT certificate was rejected, or a SAT model failed the
     CNF/theory replay.  This indicates a solver or encoding bug — the
     result must not be trusted. *)
+
+exception Enclint_failure of string
+(** The static analyzer found an [Error]-severity defect in an encoding
+    (wrong cardinality bound, missing guard literal, reachable retired
+    row, …) before the solver ran on it.  Solver verdicts on such an
+    encoding cannot be trusted, so the episode is aborted.  Only raised
+    with [config.enclint] on. *)
 
 val default_config : config
 

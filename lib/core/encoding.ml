@@ -15,6 +15,10 @@ type row = {
   selectors : int array;       (* improper only: one per proper instr *)
   act : int;                   (* activation variable; -1 = unguarded *)
   mutable live : bool;         (* false once the row has been retired *)
+  mutable networks : (int * Card.network) list;
+                               (* (declared bound, recorded network) of
+                                  every cardinality constraint emitted for
+                                  this row, for static re-verification *)
 }
 
 type t = {
@@ -74,7 +78,7 @@ let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
             let own = fresh_row () in
             name_row "own" scheme own;
             { scheme; spec; own; shared = [||]; selectors = [||];
-              act = -1; live = true })
+              act = -1; live = true; networks = [] })
          specs)
   in
   (* Cardinality of every own µop. *)
@@ -83,7 +87,10 @@ let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
        let count =
          match row.spec with Proper c -> c | Improper { own_ports } -> own_ports
        in
-       Card.exactly solver (Array.to_list (Array.map Lit.pos row.own)) count)
+       let net =
+         Card.exactly solver (Array.to_list (Array.map Lit.pos row.own)) count
+       in
+       row.networks <- (count, net) :: row.networks)
     rows;
   (* Shared µops of improper instructions.  The partner may be any proper
      blocking instruction's µop, or the own µop of another improper one:
@@ -112,9 +119,11 @@ let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
                      (Scheme.name row.scheme)
                      (Scheme.name partner.scheme)))
              partners;
-           Card.exactly solver
-             (Array.to_list (Array.map Lit.pos selectors))
-             1;
+           let selector_net =
+             Card.exactly solver
+               (Array.to_list (Array.map Lit.pos selectors))
+               1
+           in
            List.iteri
              (fun j partner ->
                 for k = 0 to num_ports - 1 do
@@ -129,7 +138,9 @@ let create ~num_ports ?(symmetry_breaking = true) ?(certify = false) specs =
                       Lit.neg_of_var partner.own.(k) ]
                 done)
              partners;
-           { row with shared; selectors })
+           let row = { row with shared; selectors } in
+           row.networks <- (1, selector_net) :: row.networks;
+           row)
       rows
   in
   let t = { solver; num_ports; rows } in
@@ -213,13 +224,17 @@ let append_row t scheme spec =
     own;
   let act = Sat.fresh_var t.solver in
   Sat.name_var t.solver act (Printf.sprintf "act(%s)" (Scheme.name scheme));
+  Sat.mark_guard t.solver act;
   (* The cardinality chain binds only while [act] is assumed: retiring the
      row is one unit clause, no encoding rebuild. *)
-  Card.exactly ~guard:(Lit.neg_of_var act) t.solver
-    (Array.to_list (Array.map Lit.pos own))
-    count;
+  let net =
+    Card.exactly ~guard:(Lit.neg_of_var act) t.solver
+      (Array.to_list (Array.map Lit.pos own))
+      count
+  in
   let row =
-    { scheme; spec; own; shared = [||]; selectors = [||]; act; live = true }
+    { scheme; spec; own; shared = [||]; selectors = [||]; act; live = true;
+      networks = [ (count, net) ] }
   in
   t.rows <- Array.append t.rows [| row |]
 
@@ -249,7 +264,13 @@ let row_assumptions t =
    activity of its own µop row — the classes the solver fights over the
    most — with the catalog order as the tie-break on a fresh solver.
    Within a row, ports are likewise ordered by activity, so the first few
-   variables of the hint are the hottest port-set literals overall. *)
+   variables of the hint are the hottest port-set literals overall.
+
+   Only live rows contribute, and root-assigned variables are dropped:
+   splitting on a decided variable (a port pinned by unit propagation, or
+   any variable of a retired delta row, all of whose constraints are
+   root-satisfied) yields one empty cube and one that re-searches the
+   whole space — the cube budget is spent without splitting anything. *)
 let split_hint t =
   let activity v = Sat.var_activity t.solver v in
   let row_score row =
@@ -260,6 +281,7 @@ let split_hint t =
   |> List.stable_sort (fun (a, _) (b, _) -> compare (b : float) a)
   |> List.concat_map (fun (_, r) ->
       Array.to_list r.own
+      |> List.filter (fun v -> Sat.root_value t.solver v = 0)
       |> List.stable_sort (fun a b -> compare (activity b) (activity a)))
 
 let ports_of_row model vars =
@@ -353,3 +375,42 @@ let block_footprint t model schemes =
 
 let block_model t model =
   block_footprint t model (List.map (fun r -> r.scheme) (live_rows t))
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis support (EncLint)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every variable that carries encoding meaning: µop rows, selectors,
+   activation literals.  Certified simplification must never eliminate or
+   flip these — theory lemmas, blocking clauses and decode all read them —
+   whereas cardinality registers and symmetry auxiliaries are fair game. *)
+let protected_vars t =
+  Array.to_list t.rows
+  |> List.concat_map (fun r ->
+      (if r.act >= 0 then [ r.act ] else [])
+      @ Array.to_list r.own
+      @ Array.to_list r.shared
+      @ Array.to_list r.selectors)
+
+let enclint_view ?(lemmas = []) ?(frozen = []) ?accepted t =
+  let module E = Pmi_analysis.Enclint in
+  let rows =
+    Array.to_list t.rows
+    |> List.map (fun r ->
+        { E.subject = Printf.sprintf "row %s" (Scheme.name r.scheme);
+          vars =
+            Array.to_list r.own @ Array.to_list r.shared
+            @ Array.to_list r.selectors;
+          act = r.act;
+          live = r.live;
+          networks = r.networks })
+  in
+  let accepted =
+    match accepted with
+    | None -> []
+    | Some mapping ->
+      List.map
+        (fun l -> (Lit.var l, Lit.is_pos l))
+        (freeze_lits t mapping)
+  in
+  { E.rows; lemmas; frozen; accepted; hint = split_hint t }

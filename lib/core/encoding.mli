@@ -111,5 +111,28 @@ val split_hint : t -> int list
 (** Cube-split hint for {!Pmi_smt.Solver.solve_cubes}: the own-port µop
     variables of the instruction classes, most constrained first — classes
     ranked by the summed VSIDS activity of their own µop row (catalog order
-    on a fresh solver), ports within a row likewise by activity.  Re-query
-    after each solve; the ranking follows the search. *)
+    on a fresh solver), ports within a row likewise by activity.  Retired
+    rows and root-assigned variables are excluded — splitting on a decided
+    variable wastes the cube.  Re-query after each solve; the ranking
+    follows the search. *)
+
+(** {1 Static analysis support} *)
+
+val protected_vars : t -> int list
+(** Every variable with encoding meaning (µop rows, selectors, activation
+    literals) across live {e and} retired rows.  Certified simplification
+    ({!Pmi_analysis.Enclint.simplify}) must not eliminate these; the
+    remaining variables — cardinality registers, symmetry auxiliaries —
+    are anonymous plumbing. *)
+
+val enclint_view :
+  ?lemmas:Pmi_smt.Lit.t list list ->
+  ?frozen:Pmi_smt.Lit.t list ->
+  ?accepted:Pmi_portmap.Mapping.t ->
+  t ->
+  Pmi_analysis.Enclint.view
+(** Describe the encoding to the static analyzer: every row with its
+    activation literal, liveness, and recorded cardinality networks, plus
+    the current {!split_hint}.  [?lemmas] are the theory lemmas asserted
+    so far, [?frozen] the delta-mode assumption literals, [?accepted] a
+    mapping whose pinned assignment lemmas are vetted against. *)

@@ -57,6 +57,7 @@ type proof_step =
   | Delete of Lit.t list
 
 type t = {
+  id : int;                          (* unique per instance, clones included *)
   (* Clause arena (long clauses only). *)
   mutable arena : int array;
   mutable arena_top : int;
@@ -126,6 +127,13 @@ type t = {
   mutable proof_len : int;
   (* Optional variable names, for DIMACS/DRAT cross-referencing. *)
   names : (int, string) Hashtbl.t;
+  (* Guard/activation variables, declared via [mark_guard]: annotated in
+     DIMACS dumps and protected from blocked-clause elimination. *)
+  guards : (int, unit) Hashtbl.t;
+  (* Model-reconstruction stack for eliminated blocked clauses, newest
+     first: [(blocking literal, clause literals)].  Applied to every SAT
+     model before it leaves the solver (see [reconstruct_model]). *)
+  mutable recon : (int * int array) list;
   (* Invariant sanitizer (debug): checked at decision-level-0 boundaries. *)
   mutable sanitize : bool;
   (* Statistics. *)
@@ -142,8 +150,16 @@ type result =
   | Sat of bool array
   | Unsat
 
+(* Unique instance ids let analysis passes keep per-solver side tables
+   without retaining the solver itself.  Atomic: clones are taken from
+   other domains in the portfolio. *)
+let next_id = Atomic.make 0
+
+let id s = s.id
+
 let create () =
-  { arena = Array.make 256 0;
+  { id = Atomic.fetch_and_add next_id 1;
+    arena = Array.make 256 0;
     arena_top = 0;
     clauses = Array.make 64 0;
     n_problem = 0;
@@ -195,6 +211,8 @@ let create () =
     proof_pos = 0;
     proof_len = 0;
     names = Hashtbl.create 16;
+    guards = Hashtbl.create 16;
+    recon = [];
     sanitize = false;
     st_decisions = 0;
     st_propagations = 0;
@@ -344,6 +362,9 @@ let proof_derive s lits = proof_push_list s 1 lits
 
 let name_var s v name = Hashtbl.replace s.names v name
 let var_name s v = Hashtbl.find_opt s.names v
+
+let mark_guard s v = Hashtbl.replace s.guards v ()
+let is_guard s v = Hashtbl.mem s.guards v
 
 (* ------------------------------------------------------------------ *)
 (* Policy knobs                                                        *)
@@ -889,13 +910,16 @@ let record_learnt s n lbd =
 (* Adding clauses                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let add_clause_internal s ~learned ~lbd lits =
+let add_clause_internal s ~learned ~tag ~lbd lits =
   assert (s.n_levels = 0);
   (* Log the clause exactly as given, before simplification: the checker's
-     database must mirror what the caller asserted, and a clause imported
-     from a portfolio winner ([~learned:true]) is RUP w.r.t. the winner's
-     derivations, which the portfolio driver logs first. *)
-  proof_push_list s (if learned then 1 else 0) lits;
+     database must mirror what the caller asserted.  [tag] is the DRAT tag
+     (0 = Input axiom, 1 = Derive): a clause imported from a portfolio
+     winner is RUP w.r.t. the winner's derivations (which the portfolio
+     driver logs first), and a clause strengthened by certified
+     simplification is RUP by one resolution step against its subsumer —
+     both log as derivations, not axioms. *)
+  proof_push_list s tag lits;
   if s.ok then begin
     (* Simplify: drop duplicates and root-level-false literals, detect
        tautologies and root-level-satisfied clauses. *)
@@ -927,13 +951,18 @@ let add_clause_internal s ~learned ~lbd lits =
     end
   end
 
-let add_clause s lits = add_clause_internal s ~learned:false ~lbd:0 lits
+let add_clause s lits = add_clause_internal s ~learned:false ~tag:0 ~lbd:0 lits
+
+(* A clause implied by the current database (certified-simplification
+   strengthening): logged as a DRAT derivation, installed as a problem
+   clause so reduction never discards it. *)
+let add_derived s lits = add_clause_internal s ~learned:false ~tag:1 ~lbd:0 lits
 
 let add_learnt s ~lbd lits =
   let lbd = max 1 lbd in
   s.st_learned <- s.st_learned + 1;
   if lbd > s.st_max_lbd then s.st_max_lbd <- lbd;
-  add_clause_internal s ~learned:true ~lbd lits
+  add_clause_internal s ~learned:true ~tag:1 ~lbd lits
 
 let new_learnts s = List.rev s.learnt_log
 
@@ -986,6 +1015,40 @@ let most_constrained_vars s k =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Encoding introspection (EncLint support)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate the live long problem clauses as (cref, literals).  Crefs stay
+   valid until the next arena compaction (clause-DB reduction, solve, or
+   [remove_long_problem_clauses]); adding clauses only appends, so a
+   gather → strengthen → remove sequence at level 0 is safe. *)
+let iter_long_problem_clauses s f =
+  for i = 0 to s.n_problem - 1 do
+    let cr = s.clauses.(i) in
+    if not (c_deleted s cr) then begin
+      let len = c_len s cr in
+      let lits = ref [] in
+      for j = len - 1 downto 0 do
+        lits := c_lit s cr j :: !lits
+      done;
+      f cr !lits
+    end
+  done
+
+let binary_problem_clauses s =
+  let acc = ref [] in
+  let i = ref (s.n_bin_pairs - 2) in
+  while !i >= 0 do
+    acc := (s.bin_pairs.(!i), s.bin_pairs.(!i + 1)) :: !acc;
+    i := !i - 2
+  done;
+  !acc
+
+let root_units s =
+  let bound = if s.n_levels = 0 then s.trail_size else s.trail_lim.(0) in
+  Array.to_list (Array.sub s.trail 0 bound)
+
+(* ------------------------------------------------------------------ *)
 (* Clause-database reduction                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1009,6 +1072,46 @@ let reorder_watch_slots s cr =
   in
   pick 0;
   pick 1
+
+(* Compact the arena, dropping clauses marked deleted from both clause
+   lists, and rebuild every watch list from scratch.  The caller must have
+   cleared level-0 trail reasons first (crefs move), and must be at a fully
+   propagated decision-level-0 boundary. *)
+let rebuild_clause_db s =
+  let old = s.arena in
+  let fresh = Array.make (Array.length old) 0 in
+  let top = ref 0 in
+  let move cr =
+    let len = old.(cr) in
+    let dst = !top in
+    Array.blit old cr fresh dst (len + 2);
+    top := dst + len + 2;
+    dst
+  in
+  let keep arr n =
+    let kept = ref 0 in
+    for i = 0 to n - 1 do
+      let cr = arr.(i) in
+      if not (c_deleted s cr) then begin
+        arr.(!kept) <- move cr;
+        incr kept
+      end
+    done;
+    !kept
+  in
+  s.n_problem <- keep s.clauses s.n_problem;
+  s.n_learnts <- keep s.learnts s.n_learnts;
+  s.arena <- fresh;
+  s.arena_top <- !top;
+  Array.fill s.watch_size 0 (Array.length s.watch_size) 0;
+  for i = 0 to s.n_problem - 1 do
+    reorder_watch_slots s s.clauses.(i);
+    attach_clause s s.clauses.(i)
+  done;
+  for i = 0 to s.n_learnts - 1 do
+    reorder_watch_slots s s.learnts.(i);
+    attach_clause s s.learnts.(i)
+  done
 
 (* Glucose-style reduction, run at decision level 0 (restart points): delete
    the worst half of the deletable learnt clauses — high LBD first, ties by
@@ -1042,44 +1145,41 @@ let reduce_db s =
     c_delete s cr
   done;
   s.st_deleted <- s.st_deleted + victims;
-  (* Compact the arena and rebuild the watch lists. *)
-  let old = s.arena in
-  let fresh = Array.make (Array.length old) 0 in
-  let top = ref 0 in
-  let move cr =
-    let len = old.(cr) in
-    let dst = !top in
-    Array.blit old cr fresh dst (len + 2);
-    top := dst + len + 2;
-    dst
-  in
-  for i = 0 to s.n_problem - 1 do
-    s.clauses.(i) <- move s.clauses.(i)
-  done;
-  let kept = ref 0 in
-  for i = 0 to s.n_learnts - 1 do
-    let cr = s.learnts.(i) in
-    if not (c_deleted s cr) then begin
-      s.learnts.(!kept) <- move cr;
-      incr kept
-    end
-  done;
-  s.n_learnts <- !kept;
-  s.arena <- fresh;
-  s.arena_top <- !top;
-  Array.fill s.watch_size 0 (Array.length s.watch_size) 0;
-  for i = 0 to s.n_problem - 1 do
-    reorder_watch_slots s s.clauses.(i);
-    attach_clause s s.clauses.(i)
-  done;
-  for i = 0 to s.n_learnts - 1 do
-    reorder_watch_slots s s.learnts.(i);
-    attach_clause s s.learnts.(i)
-  done;
+  rebuild_clause_db s;
   (* Glucose-style schedule: the interval to the next reduction grows each
      time, so reductions get rarer as the search matures. *)
   s.reduce_step <- s.reduce_step + 300;
   s.reduce_budget <- s.st_conflicts + s.reduce_step
+
+(* Remove a batch of long problem clauses by cref (as enumerated by
+   [iter_long_problem_clauses], with no intervening compaction), logging a
+   DRAT deletion for each.  An optional blocking literal per clause records
+   a model-reconstruction entry: a blocked clause is not implied by the
+   remaining database, so every later SAT model must be patched to satisfy
+   it (see [reconstruct_model]).  Must run at decision level 0, outside a
+   search. *)
+let remove_long_problem_clauses s removals =
+  assert (s.n_levels = 0);
+  if s.ok && removals <> [] then begin
+    (* Level-0 reasons must not survive the compaction: crefs move. *)
+    for i = 0 to s.trail_size - 1 do
+      s.reason.(Lit.var s.trail.(i)) <- -1
+    done;
+    List.iter
+      (fun (cr, blocker) ->
+         if not (c_deleted s cr) then begin
+           let len = c_len s cr in
+           proof_push_sub s 2 s.arena (cr + 2) len;
+           (match blocker with
+            | None -> ()
+            | Some l ->
+              let lits = Array.init len (fun j -> c_lit s cr j) in
+              s.recon <- (l, lits) :: s.recon);
+           c_delete s cr
+         end)
+      removals;
+    rebuild_clause_db s
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Invariant sanitizer                                                 *)
@@ -1314,6 +1414,24 @@ let luby_unit i =
   done;
   1 lsl !seq
 
+(* Patch a total model to satisfy the blocked clauses removed by certified
+   simplification: newest elimination first (reverse elimination order),
+   flip the blocking literal true whenever the model falsifies the clause.
+   Sound because each clause was blocked on its literal w.r.t. the database
+   it was removed from: all resolvents on that literal were tautologies, so
+   the flip cannot falsify a remaining clause, and the eliminator only
+   blocks on variables no later clause mentions. *)
+let reconstruct_model s model =
+  List.iter
+    (fun (blocker, lits) ->
+       let sat_lit l =
+         let v = Lit.var l in
+         if Lit.is_pos l then model.(v) else not model.(v)
+       in
+       if not (Array.exists sat_lit lits) then
+         model.(Lit.var blocker) <- Lit.is_pos blocker)
+    s.recon
+
 let pick_branch_var s =
   let v = ref (-1) in
   if s.rand_freq > 0.0 && s.nvars > 0 && rand_float s < s.rand_freq then begin
@@ -1411,6 +1529,7 @@ let solve_opt ?(assumptions = []) ?(stop = fun () -> false) s =
         match pick_branch_var s with
         | -1 ->
           let model = Array.init s.nvars (fun v -> var_value s v = 1) in
+          reconstruct_model s model;
           result := Some (Sat model);
           finished := true
         | v ->
@@ -1440,7 +1559,8 @@ let solve ?assumptions s =
    the original with [absorb_stats]). *)
 let copy s =
   cancel_until s 0;
-  { arena = Array.copy s.arena;
+  { id = Atomic.fetch_and_add next_id 1;
+    arena = Array.copy s.arena;
     arena_top = s.arena_top;
     clauses = Array.copy s.clauses;
     n_problem = s.n_problem;
@@ -1494,6 +1614,11 @@ let copy s =
     proof_pos = 0;
     proof_len = 0;
     names = Hashtbl.copy s.names;
+    guards = Hashtbl.copy s.guards;
+    (* The entries are immutable (the literal arrays are never written
+       after elimination), so structural sharing with the parent is safe
+       across domains. *)
+    recon = s.recon;
     sanitize = s.sanitize;
     st_decisions = 0;
     st_propagations = 0;
@@ -1535,17 +1660,33 @@ let to_dimacs ?(learned = false) s buf =
        (if learned then " (learnt clauses included)" else ""));
   (* Cross-reference comments: map 1-based DIMACS variable ids back to the
      caller-supplied [Expr]/encoding names, so dumped CNFs and DRAT traces
-     can be read against the port-mapping model. *)
-  if Hashtbl.length s.names > 0 then begin
-    let named =
-      List.sort compare
-        (Hashtbl.fold (fun v name acc -> (v, name) :: acc) s.names [])
+     can be read against the port-mapping model.  Guard/activation
+     variables (delta-session rows, per-call blocking activations) are
+     tagged, and get a line even without a caller-supplied name — a dumped
+     delta CNF is unreadable without knowing which literals are guards. *)
+  if Hashtbl.length s.names > 0 || Hashtbl.length s.guards > 0 then begin
+    let entries =
+      Hashtbl.fold (fun v name acc -> (v, Some name) :: acc) s.names []
+    in
+    let entries =
+      Hashtbl.fold
+        (fun v () acc ->
+           if Hashtbl.mem s.names v then acc else (v, None) :: acc)
+        s.guards entries
     in
     List.iter
       (fun (v, name) ->
-         if v >= 0 && v < s.nvars then
-           Buffer.add_string buf (Printf.sprintf "c var %d %s\n" (v + 1) name))
-      named
+         if v >= 0 && v < s.nvars then begin
+           let guard = if Hashtbl.mem s.guards v then " (guard)" else "" in
+           match name with
+           | Some name ->
+             Buffer.add_string buf
+               (Printf.sprintf "c var %d %s%s\n" (v + 1) name guard)
+           | None ->
+             Buffer.add_string buf
+               (Printf.sprintf "c var %d _%s\n" (v + 1) guard)
+         end)
+      (List.sort compare entries)
   end;
   Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" s.nvars total);
   if not s.ok then Buffer.add_string buf "0\n";

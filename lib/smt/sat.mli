@@ -50,6 +50,14 @@ val add_clause : t -> Lit.t list -> unit
     clause that simplifies to it) makes the solver permanently
     unsatisfiable. *)
 
+val add_derived : t -> Lit.t list -> unit
+(** Add a clause that is {e implied} by the current database (e.g. the
+    strengthened clause of a self-subsuming resolution step, which is RUP
+    by one resolution against its subsumer).  Identical to {!add_clause}
+    except that, under proof logging, the clause is recorded as a DRAT
+    derivation rather than an input axiom — the independent checker will
+    verify it instead of trusting it. *)
+
 val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve under the given assumptions.  The model of a [Sat] answer assigns
     every allocated variable.  [Unsat] under assumptions means
@@ -105,6 +113,48 @@ val most_constrained_vars : t -> int -> int list
     ranked by VSIDS activity with occurrence count over the problem
     clauses as the tie-break (so a fresh solver still yields a meaningful
     order), most constrained first. *)
+
+(** {1 Encoding introspection (static analysis support)}
+
+    Read-only views of the problem-clause database, consumed by the
+    EncLint static analyzer ([Pmi_analysis.Enclint]), plus the certified
+    clause-removal hook its simplification mode uses.  All of these must
+    be called at decision level 0 (between [solve] calls). *)
+
+val id : t -> int
+(** A process-unique instance id (clones included), so analysis passes can
+    key per-solver side tables without retaining the solver. *)
+
+val iter_long_problem_clauses : t -> (int -> Lit.t list -> unit) -> unit
+(** Iterate [f cref lits] over every live long (>= 3 literal) problem
+    clause.  Crefs remain valid until the next arena compaction (a solve
+    with clause-DB reduction, or {!remove_long_problem_clauses}); adding
+    clauses only appends, so gather → strengthen → remove is safe. *)
+
+val binary_problem_clauses : t -> (Lit.t * Lit.t) list
+(** Every binary problem clause, in assertion order. *)
+
+val root_units : t -> Lit.t list
+(** The decision-level-0 trail: unit-implied and asserted literals. *)
+
+val remove_long_problem_clauses : t -> (int * Lit.t option) list -> unit
+(** Remove a batch of long problem clauses by cref, logging a DRAT
+    deletion for each and rebuilding the watch lists.  The optional
+    literal marks a {e blocked-clause} removal: the clause is not implied
+    by the remaining database, so the solver records a reconstruction
+    entry and patches every later SAT model to satisfy it (flipping the
+    blocking literal when needed, newest elimination first).  Clauses
+    whose removal is implied (root-satisfied, subsumed, strengthened)
+    pass [None].  Crefs must come from {!iter_long_problem_clauses} with
+    no intervening solve. *)
+
+val mark_guard : t -> int -> unit
+(** Declare a variable to be a guard/activation literal (delta-session
+    rows, per-call blocking activations).  {!to_dimacs} annotates it, and
+    certified simplification refuses to treat it as an eliminable
+    auxiliary. *)
+
+val is_guard : t -> int -> bool
 
 val set_on_learnt : t -> (int -> Lit.t list -> unit) option -> unit
 (** Install (or clear) a hook fired synchronously as [f lbd lits] on every
@@ -200,7 +250,9 @@ end
 val name_var : t -> int -> string -> unit
 (** Attach a human-readable name to a variable; {!to_dimacs} emits it as a
     [c var <dimacs-id> <name>] comment so CNF dumps and DRAT traces can be
-    cross-referenced against the encoding. *)
+    cross-referenced against the encoding.  Variables declared via
+    {!mark_guard} additionally carry a [(guard)] tag in that comment, and
+    anonymous guards still get a line. *)
 
 val var_name : t -> int -> string option
 

@@ -1,0 +1,476 @@
+(* EncLint: the solver-off static analyzer over CEGIS encodings.
+
+   Three families of tests:
+   - clean built-in encodings (creation-time, delta append/retire) must
+     produce zero findings — no false positives;
+   - seeded mutations (dropped guard, wrong cardinality bound, unguarded
+     delta row, duplicate clause, dead split hints, reachable retired
+     rows) must each be flagged with the right rule;
+   - the certified simplification must leave proof traces the independent
+     DRAT checker still accepts, for UNSAT certificates and SAT model
+     replays alike, including a full certified CEGIS run with the
+     analyzer and simplifier gating every solver episode. *)
+
+open Pmi_smt
+module Enclint = Pmi_analysis.Enclint
+module Drat = Pmi_analysis.Drat
+module Diag = Pmi_diag.Diag
+module Cegis = Pmi_core.Cegis
+module Encoding = Pmi_core.Encoding
+module Catalog = Pmi_isa.Catalog
+module Operand = Pmi_isa.Operand
+module Iclass = Pmi_isa.Iclass
+module Portset = Pmi_portmap.Portset
+module Mapping = Pmi_portmap.Mapping
+
+let is_sat = function Sat.Sat _ -> true | Sat.Unsat -> false
+let has_rule rule diags = List.exists (fun d -> d.Diag.rule = rule) diags
+
+let show diags = String.concat "; " (List.map Diag.to_string diags)
+
+let check_clean label diags =
+  if diags <> [] then
+    Alcotest.failf "%s: expected no findings, got %s" label (show diags)
+
+let expect_error rule diags =
+  if not (List.exists (fun d -> d.Diag.rule = rule) (Diag.errors diags)) then
+    Alcotest.failf "expected an %s error, got %s" rule (show diags)
+
+let toy_catalog n =
+  Catalog.of_list
+    (List.init n (fun i ->
+         (Printf.sprintf "i%c" (Char.chr (Char.code 'A' + i)),
+          [ Operand.gpr 32 ], Iclass.plain (Iclass.Single Iclass.Alu))))
+
+(* ------------------------------------------------------------------ *)
+(* Clean encodings: no false positives                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_creation () =
+  let catalog = toy_catalog 3 in
+  let encoding =
+    Encoding.create ~num_ports:3 ~symmetry_breaking:true
+      [ (Catalog.find catalog 0, Encoding.Proper 2);
+        (Catalog.find catalog 1, Encoding.Proper 2);
+        (Catalog.find catalog 2, Encoding.Proper 1) ]
+  in
+  check_clean "creation"
+    (Enclint.analyze (Encoding.sat encoding) (Encoding.enclint_view encoding))
+
+let test_clean_improper () =
+  (* Store-blocker machinery: shared µops and selector networks. *)
+  let catalog = toy_catalog 3 in
+  let encoding =
+    Encoding.create ~num_ports:3 ~symmetry_breaking:true
+      [ (Catalog.find catalog 0, Encoding.Proper 2);
+        (Catalog.find catalog 1, Encoding.Proper 1);
+        (Catalog.find catalog 2, Encoding.Improper { own_ports = 1 }) ]
+  in
+  check_clean "improper"
+    (Enclint.analyze (Encoding.sat encoding) (Encoding.enclint_view encoding))
+
+let delta_encoding () =
+  let catalog = toy_catalog 3 in
+  let encoding = Encoding.create ~num_ports:3 ~symmetry_breaking:false [] in
+  Encoding.append_row encoding (Catalog.find catalog 0) (Encoding.Proper 2);
+  Encoding.append_row encoding (Catalog.find catalog 1) (Encoding.Proper 2);
+  Encoding.append_row encoding (Catalog.find catalog 2) (Encoding.Proper 1);
+  (catalog, encoding)
+
+let test_clean_delta () =
+  let catalog, encoding = delta_encoding () in
+  Encoding.retire_row encoding (Catalog.find catalog 1);
+  Encoding.append_row encoding (Catalog.find catalog 1) (Encoding.Proper 3);
+  check_clean "delta"
+    (Enclint.analyze (Encoding.sat encoding)
+       (Encoding.enclint_view
+          ~frozen:(Encoding.row_assumptions encoding)
+          encoding))
+
+(* ------------------------------------------------------------------ *)
+(* Seeded mutations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let row ?(subject = "row mut") ?(act = -1) ?(live = true) ~vars networks =
+  { Enclint.subject; vars; act; live; networks }
+
+let view ?(rows = []) ?(hint = []) () =
+  { Enclint.empty_view with Enclint.rows; hint }
+
+let test_flags_dropped_guard () =
+  (* The row claims activation variable [act], but its network was built
+     without the guard: both the metadata check and the per-clause ¬act
+     scan must fire. *)
+  let s = Sat.create () in
+  let act = Sat.fresh_var s in
+  Sat.mark_guard s act;
+  let vars = List.init 3 (fun _ -> Sat.fresh_var s) in
+  let net = Card.exactly s (List.map Lit.pos vars) 1 in
+  let diags =
+    Enclint.analyze s (view ~rows:[ row ~act ~vars [ (1, net) ] ] ())
+  in
+  expect_error "missing-guard" diags
+
+let test_flags_dropped_guard_semantic () =
+  (* The subtler bug: the network records a guard, but some clause lost
+     the literal — with the guard satisfied the network must be vacuously
+     satisfiable, and a stripped clause can still bind.  Caught by the
+     exhaustive vacuity sweep, not by metadata. *)
+  let s = Sat.create () in
+  let act = Sat.fresh_var s in
+  Sat.mark_guard s act;
+  let g = Lit.neg_of_var act in
+  let vars = List.init 3 (fun _ -> Sat.fresh_var s) in
+  let net = Card.exactly ~guard:g s (List.map Lit.pos vars) 1 in
+  let forged =
+    { net with
+      Card.clauses = List.map (List.filter (fun l -> l <> g)) net.Card.clauses }
+  in
+  let diags =
+    Enclint.analyze s (view ~rows:[ row ~act ~vars [ (1, forged) ] ] ())
+  in
+  expect_error "card-guard" diags
+
+let test_flags_wrong_bound () =
+  (* Declared bound 2, encoded bound 1: the record disagrees with what the
+     encoding asked for (bound-mismatch), and forging the record to agree
+     still trips the exhaustive enumeration (card-bound). *)
+  let s = Sat.create () in
+  let vars = List.init 4 (fun _ -> Sat.fresh_var s) in
+  let net = Card.exactly s (List.map Lit.pos vars) 1 in
+  expect_error "bound-mismatch"
+    (Enclint.analyze s (view ~rows:[ row ~vars [ (2, net) ] ] ()));
+  let forged = { net with Card.bound = 2 } in
+  expect_error "card-bound"
+    (Enclint.analyze s (view ~rows:[ row ~vars [ (2, forged) ] ] ()))
+
+let test_flags_unguarded_row () =
+  (* A live row without an activation literal in an encoding where other
+     rows are guarded can never be retired. *)
+  let s = Sat.create () in
+  let act = Sat.fresh_var s in
+  Sat.mark_guard s act;
+  let g = Lit.neg_of_var act in
+  let vars1 = List.init 2 (fun _ -> Sat.fresh_var s) in
+  let net1 = Card.exactly ~guard:g s (List.map Lit.pos vars1) 1 in
+  let vars2 = List.init 2 (fun _ -> Sat.fresh_var s) in
+  let net2 = Card.exactly s (List.map Lit.pos vars2) 1 in
+  let diags =
+    Enclint.analyze s
+      (view
+         ~rows:
+           [ row ~subject:"guarded" ~act ~vars:vars1 [ (1, net1) ];
+             row ~subject:"unguarded" ~vars:vars2 [ (1, net2) ] ]
+         ())
+  in
+  expect_error "unguarded-row" diags
+
+let test_flags_duplicate_clause () =
+  let s = Sat.create () in
+  let vars = List.init 3 (fun _ -> Sat.fresh_var s) in
+  let c = List.map Lit.pos vars in
+  Sat.add_clause s c;
+  Sat.add_clause s c;
+  let diags = Enclint.analyze s Enclint.empty_view in
+  Alcotest.(check bool) "duplicate flagged" true
+    (has_rule "duplicate-clause" diags)
+
+let test_flags_retired_reachable () =
+  (* A retired row whose activation was never unit-negated is still in
+     force, and so is any live clause that mentions its variables. *)
+  let s = Sat.create () in
+  let act = Sat.fresh_var s in
+  Sat.mark_guard s act;
+  let g = Lit.neg_of_var act in
+  let vars = List.init 2 (fun _ -> Sat.fresh_var s) in
+  let net = Card.exactly ~guard:g s (List.map Lit.pos vars) 1 in
+  let outside = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos (List.hd vars); Lit.pos outside ];
+  let diags =
+    Enclint.analyze s
+      (view ~rows:[ row ~act ~live:false ~vars [ (1, net) ] ] ())
+  in
+  expect_error "retired-reachable" diags
+
+let test_flags_split_dead () =
+  (* Cube-split hints over a root-assigned or retired variable waste the
+     whole cube. *)
+  let s = Sat.create () in
+  let v = Sat.fresh_var s in
+  let w = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos v ];
+  Sat.add_clause s [ Lit.pos w; Lit.neg_of_var v ];
+  (match Sat.solve s with
+   | Sat.Sat _ -> ()
+   | Sat.Unsat -> Alcotest.fail "trivially sat");
+  expect_error "split-dead" (Enclint.analyze s (view ~hint:[ v ] ()))
+
+let test_split_hint_excludes_dead () =
+  (* The encoding-side fix the reachability check motivated: retired and
+     root-assigned variables never appear in [split_hint]. *)
+  let catalog, encoding = delta_encoding () in
+  let retired_scheme = Catalog.find catalog 1 in
+  let before = Encoding.split_hint encoding in
+  Alcotest.(check bool) "hint nonempty" true (before <> []);
+  Encoding.retire_row encoding retired_scheme;
+  (match Sat.solve
+           ~assumptions:(Encoding.row_assumptions encoding)
+           (Encoding.sat encoding)
+   with
+   | Sat.Sat _ -> ()
+   | Sat.Unsat -> Alcotest.fail "delta encoding satisfiable");
+  let sat = Encoding.sat encoding in
+  let hint = Encoding.split_hint encoding in
+  Alcotest.(check bool) "hint survives retirement" true (hint <> []);
+  List.iter
+    (fun v ->
+       if Sat.root_value sat v <> 0 then
+         Alcotest.failf "hint proposes root-assigned var %d" v)
+    hint;
+  (* No split-dead finding on the fixed hint. *)
+  let diags =
+    Enclint.analyze sat
+      (Encoding.enclint_view
+         ~frozen:(Encoding.row_assumptions encoding)
+         encoding)
+  in
+  Alcotest.(check bool) "no split-dead" false (has_rule "split-dead" diags)
+
+let test_flags_frozen_unused () =
+  let s = Sat.create () in
+  let a = Sat.fresh_var s in
+  let b = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos a; Lit.pos b ];
+  let diags =
+    Enclint.analyze s
+      { Enclint.empty_view with Enclint.frozen = [ Lit.pos b ] }
+  in
+  (* [b] occurs in a live clause, so the freeze is meaningful. *)
+  Alcotest.(check bool) "b occurs" false (has_rule "frozen-unused" diags);
+  let s2 = Sat.create () in
+  let c = Sat.fresh_var s2 in
+  let diags2 =
+    Enclint.analyze s2
+      { Enclint.empty_view with Enclint.frozen = [ Lit.pos c ] }
+  in
+  Alcotest.(check bool) "unused flagged" true (has_rule "frozen-unused" diags2)
+
+(* ------------------------------------------------------------------ *)
+(* Certified simplification                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_ok label = function
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "%s: certificate rejected: %s" label
+      (Format.asprintf "%a" Drat.pp_error e)
+
+let pigeonhole s ~pigeons ~holes =
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.fresh_var s))
+  in
+  for p = 0 to pigeons - 1 do
+    Sat.add_clause s (Array.to_list (Array.map Lit.pos v.(p)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Sat.add_clause s
+          [ Lit.neg_of_var v.(p1).(h); Lit.neg_of_var v.(p2).(h) ]
+      done
+    done
+  done;
+  v
+
+let test_simplify_unsat_certified () =
+  (* Simplify a pigeonhole instance padded with removable clauses, then
+     solve: the UNSAT certificate must still replay through the
+     independent checker even though the trace now interleaves the
+     simplifier's derivations and deletions. *)
+  let s = Sat.create () in
+  Sat.set_proof_logging s true;
+  let v = pigeonhole s ~pigeons:5 ~holes:4 in
+  (* A duplicate pigeon clause and a weaker (superset) one: subsumption
+     fodder. *)
+  let pigeon0 = Array.to_list (Array.map Lit.pos v.(0)) in
+  Sat.add_clause s pigeon0;
+  Sat.add_clause s (Lit.pos v.(1).(0) :: pigeon0);
+  let stats = Enclint.simplify s in
+  Alcotest.(check bool) "simplifier did work" true (Enclint.total stats > 0);
+  Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s));
+  check_ok "simplified php 5/4" (Drat.check (Sat.proof s))
+
+let test_simplify_sat_model_validates () =
+  (* Blocked-clause elimination removes Input clauses the DRAT model
+     validator still checks, so the solver must reconstruct models that
+     satisfy them.  Protect the "real" variables the way the encoding
+     does; the Sinz registers are fair game. *)
+  let s = Sat.create () in
+  Sat.set_proof_logging s true;
+  let vars = List.init 6 (fun _ -> Sat.fresh_var s) in
+  ignore (Card.exactly s (List.map Lit.pos vars) 2);
+  (* A hand-built blocked clause: every resolvent on [x] is tautological,
+     so BCE drops [x ∨ a ∨ b] — but the validator still checks it. *)
+  let x = Sat.fresh_var s in
+  let a = Sat.fresh_var s in
+  let b = Sat.fresh_var s in
+  Sat.add_clause s [ Lit.pos x; Lit.pos a; Lit.pos b ];
+  Sat.add_clause s [ Lit.neg_of_var x; Lit.neg_of_var a ];
+  Sat.add_clause s [ Lit.neg_of_var x; Lit.neg_of_var b ];
+  let stats = Enclint.simplify ~protect:vars s in
+  Alcotest.(check bool) "bce removed clauses" true
+    (stats.Enclint.blocked_removed > 0);
+  match Sat.solve s with
+  | Sat.Unsat -> Alcotest.fail "exactly-2 of 6 is satisfiable"
+  | Sat.Sat model ->
+    check_ok "reconstructed model" (Drat.validate_model ~model (Sat.proof s));
+    let count = List.length (List.filter (fun v -> model.(v)) vars) in
+    Alcotest.(check int) "bound kept" 2 count
+
+let test_simplify_preserves_verdicts () =
+  (* Parity sweep: random-ish small CNFs solved with and without
+     simplification must agree, and simplified runs must keep their
+     certificates checkable. *)
+  let mk seed =
+    let s = Sat.create () in
+    Sat.set_proof_logging s true;
+    let n = 8 in
+    for _ = 1 to n do
+      ignore (Sat.fresh_var s)
+    done;
+    let state = ref (seed * 2654435761) in
+    let next bound =
+      state := (!state * 1103515245) + 12345;
+      abs (!state / 65536) mod bound
+    in
+    for _ = 1 to 24 do
+      let len = 2 + next 3 in
+      let c =
+        List.init len (fun _ -> Lit.make (next n) (next 2 = 0))
+        |> List.sort_uniq compare
+      in
+      Sat.add_clause s c
+    done;
+    s
+  in
+  for seed = 1 to 20 do
+    let plain = mk seed in
+    let simplified = mk seed in
+    ignore (Enclint.simplify simplified);
+    let a = is_sat (Sat.solve plain) in
+    let b =
+      match Sat.solve simplified with
+      | Sat.Sat model ->
+        check_ok
+          (Printf.sprintf "seed %d model" seed)
+          (Drat.validate_model ~model (Sat.proof simplified));
+        true
+      | Sat.Unsat ->
+        check_ok
+          (Printf.sprintf "seed %d unsat" seed)
+          (Drat.check (Sat.proof simplified));
+        false
+    in
+    if a <> b then Alcotest.failf "seed %d: verdict changed" seed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The CEGIS gate                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gated_config num_ports =
+  { Cegis.default_config with
+    Cegis.num_ports;
+    r_max = num_ports + 1;
+    max_experiment_size = 4;
+    certify = true;
+    enclint = true;
+    enclint_simplify = true }
+
+let test_cegis_gated_certified () =
+  (* The acceptance bar: a --certify run with the analyzer and the
+     simplifier gating every episode still converges, meaning every
+     certificate over the simplified encodings was checker-accepted. *)
+  let catalog = toy_catalog 2 in
+  let num_ports = 2 in
+  let truth = Mapping.create ~num_ports in
+  let p0 = Portset.singleton 0 in
+  Mapping.set truth (Catalog.find catalog 0) [ (p0, 1) ];
+  Mapping.set truth (Catalog.find catalog 1) [ (p0, 1) ];
+  let config = gated_config num_ports in
+  let measure e = Cegis.modeled_inverse config truth e in
+  let specs =
+    [ (Catalog.find catalog 0, Encoding.Proper 1);
+      (Catalog.find catalog 1, Encoding.Proper 1) ]
+  in
+  match Cegis.infer ~config ~measure ~specs () with
+  | Cegis.Converged _ -> ()
+  | Cegis.No_consistent_mapping _ -> Alcotest.fail "unexpected UNSAT"
+  | Cegis.Iteration_limit _ -> Alcotest.fail "iteration limit"
+
+let test_cegis_gated_delta () =
+  let catalog = toy_catalog 3 in
+  let num_ports = 3 in
+  let truth = Mapping.create ~num_ports in
+  Mapping.set truth (Catalog.find catalog 0)
+    [ (Portset.of_list [ 0; 1 ], 1) ];
+  Mapping.set truth (Catalog.find catalog 1)
+    [ (Portset.of_list [ 1; 2 ], 1) ];
+  Mapping.set truth (Catalog.find catalog 2) [ (Portset.singleton 2, 1) ];
+  let config = { (gated_config num_ports) with Cegis.max_experiment_size = 3 } in
+  let measure e = Cegis.modeled_inverse config truth e in
+  let base =
+    [ (Catalog.find catalog 0, Encoding.Proper 2);
+      (Catalog.find catalog 1, Encoding.Proper 2) ]
+  in
+  let base_mapping =
+    match Cegis.infer ~config ~measure ~specs:base () with
+    | Cegis.Converged (m, _) -> m
+    | _ -> Alcotest.fail "base inference failed"
+  in
+  match
+    Cegis.infer_delta ~config ~measure ~mapping:base_mapping ~specs:base
+      ~updates:[ (Catalog.find catalog 2, Encoding.Proper 1) ]
+      ()
+  with
+  | Cegis.Delta_applied (Cegis.Converged _) -> ()
+  | _ -> Alcotest.fail "gated delta flush failed to converge"
+
+let () =
+  Alcotest.run "enclint"
+    [ ("clean",
+       [ Alcotest.test_case "creation-time encoding" `Quick
+           test_clean_creation;
+         Alcotest.test_case "improper (store-blocker) encoding" `Quick
+           test_clean_improper;
+         Alcotest.test_case "delta append/retire" `Quick test_clean_delta ]);
+      ("mutations",
+       [ Alcotest.test_case "dropped guard (metadata)" `Quick
+           test_flags_dropped_guard;
+         Alcotest.test_case "dropped guard (semantic)" `Quick
+           test_flags_dropped_guard_semantic;
+         Alcotest.test_case "wrong cardinality bound" `Quick
+           test_flags_wrong_bound;
+         Alcotest.test_case "unguarded delta row" `Quick
+           test_flags_unguarded_row;
+         Alcotest.test_case "duplicate clause" `Quick
+           test_flags_duplicate_clause;
+         Alcotest.test_case "reachable retired row" `Quick
+           test_flags_retired_reachable;
+         Alcotest.test_case "dead split hint" `Quick test_flags_split_dead;
+         Alcotest.test_case "split_hint excludes dead vars" `Quick
+           test_split_hint_excludes_dead;
+         Alcotest.test_case "frozen literal unused" `Quick
+           test_flags_frozen_unused ]);
+      ("simplify",
+       [ Alcotest.test_case "UNSAT certificate survives" `Quick
+           test_simplify_unsat_certified;
+         Alcotest.test_case "SAT model reconstructs" `Quick
+           test_simplify_sat_model_validates;
+         Alcotest.test_case "verdict parity + certificates" `Quick
+           test_simplify_preserves_verdicts ]);
+      ("cegis-gate",
+       [ Alcotest.test_case "certified run with gate + simplify" `Quick
+           test_cegis_gated_certified;
+         Alcotest.test_case "gated delta flush" `Quick
+           test_cegis_gated_delta ]) ]

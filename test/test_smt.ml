@@ -731,7 +731,7 @@ let solve_card build =
   (s, vars)
 
 let test_card_at_most () =
-  let s, vars = solve_card (fun s lits -> Card.at_most s lits 2) in
+  let s, vars = solve_card (fun s lits -> ignore (Card.at_most s lits 2)) in
   (* Force three variables true: must be unsat. *)
   (match
      Sat.solve
@@ -746,14 +746,14 @@ let test_card_at_most () =
   | Sat.Unsat -> Alcotest.fail "2 ≤ 2 should be sat"
 
 let test_card_at_least () =
-  let s, vars = solve_card (fun s lits -> Card.at_least s lits 4) in
+  let s, vars = solve_card (fun s lits -> ignore (Card.at_least s lits 4)) in
   match Sat.solve s with
   | Sat.Sat model ->
     Alcotest.(check bool) "≥ 4 true" true (count_true model vars >= 4)
   | Sat.Unsat -> Alcotest.fail "at_least 4 of 6 is satisfiable"
 
 let test_card_exactly () =
-  let s, vars = solve_card (fun s lits -> Card.exactly s lits 3) in
+  let s, vars = solve_card (fun s lits -> ignore (Card.exactly s lits 3)) in
   match Sat.solve s with
   | Sat.Sat model -> Alcotest.(check int) "exactly 3" 3 (count_true model vars)
   | Sat.Unsat -> Alcotest.fail "exactly 3 of 6 is satisfiable"
@@ -762,20 +762,20 @@ let test_card_edge_cases () =
   (* k = 0 forbids everything. *)
   let s = Sat.create () in
   let a = Sat.fresh_var s in
-  Card.at_most s [ Lit.pos a ] 0;
+  ignore (Card.at_most s [ Lit.pos a ] 0);
   (match Sat.solve s with
    | Sat.Sat model -> Alcotest.(check bool) "a false" false model.(a)
    | Sat.Unsat -> Alcotest.fail "sat expected");
   (* k = n is vacuous. *)
   let s2 = Sat.create () in
   let b = Sat.fresh_var s2 in
-  Card.at_most s2 [ Lit.pos b ] 1;
+  ignore (Card.at_most s2 [ Lit.pos b ] 1);
   Alcotest.(check bool) "vacuous" true
     (match Sat.solve s2 with Sat.Sat _ -> true | Sat.Unsat -> false);
   (* at_least more than available is unsat. *)
   let s3 = Sat.create () in
   let c = Sat.fresh_var s3 in
-  Card.at_least s3 [ Lit.pos c ] 2;
+  ignore (Card.at_least s3 [ Lit.pos c ] 2);
   Alcotest.(check bool) "impossible at_least" false
     (match Sat.solve s3 with Sat.Sat _ -> true | Sat.Unsat -> false)
 
@@ -784,7 +784,7 @@ let test_card_exactly_shares_registers () =
      registers, not a separate chain per bound. *)
   let s = Sat.create () in
   let vars = List.init 6 (fun _ -> Sat.fresh_var s) in
-  Card.exactly s (List.map Lit.pos vars) 2;
+  ignore (Card.exactly s (List.map Lit.pos vars) 2);
   Alcotest.(check int) "aux registers" (6 + (5 * 2)) (Sat.num_vars s)
 
 let popcount mask =
@@ -799,7 +799,7 @@ let test_card_exactly_exhaustive () =
     for k = 0 to n do
       let s = Sat.create () in
       let vars = List.init n (fun _ -> Sat.fresh_var s) in
-      Card.exactly s (List.map Lit.pos vars) k;
+      ignore (Card.exactly s (List.map Lit.pos vars) k);
       for mask = 0 to (1 lsl n) - 1 do
         let assumptions =
           List.mapi (fun i v -> Lit.make v (mask land (1 lsl i) <> 0)) vars
@@ -819,10 +819,90 @@ let prop_card_exactly_counts =
        QCheck2.assume (k <= n);
        let s = Sat.create () in
        let vars = List.init n (fun _ -> Sat.fresh_var s) in
-       Card.exactly s (List.map Lit.pos vars) k;
+       ignore (Card.exactly s (List.map Lit.pos vars) k);
        match Sat.solve s with
        | Sat.Sat model -> count_true model vars = k
        | Sat.Unsat -> false)
+
+(* Guarded networks (the delta-row contract of [Encoding.append_row]):
+   the guard literal is prepended to every emitted clause, so a true
+   guard satisfies the whole network vacuously — any input count goes —
+   while a false guard leaves exactly the unguarded constraint. *)
+let guarded_card_case s ~which ~guard lits k =
+  match which with
+  | 0 -> Card.at_most ~guard s lits k
+  | 1 -> Card.at_least ~guard s lits k
+  | _ -> Card.exactly ~guard s lits k
+
+let guarded_card_meets ~which count k =
+  match which with 0 -> count <= k | 1 -> count >= k | _ -> count = k
+
+let prop_card_guard_vacuous =
+  QCheck2.Test.make
+    ~name:"guard true satisfies the network under any input count"
+    ~count:100
+    QCheck2.Gen.(triple (int_range 1 5) (int_range 0 5) (int_range 0 2))
+    (fun (n, k, which) ->
+       QCheck2.assume (k <= n);
+       let s = Sat.create () in
+       let g = Sat.fresh_var s in
+       let vars = List.init n (fun _ -> Sat.fresh_var s) in
+       ignore
+         (guarded_card_case s ~which ~guard:(Lit.pos g)
+            (List.map Lit.pos vars) k);
+       List.for_all
+         (fun mask ->
+            let assumptions =
+              Lit.pos g
+              :: List.mapi
+                   (fun i v -> Lit.make v (mask land (1 lsl i) <> 0))
+                   vars
+            in
+            is_sat (Sat.solve ~assumptions s))
+         (List.init (1 lsl n) (fun m -> m)))
+
+let prop_card_guard_enforces =
+  QCheck2.Test.make
+    ~name:"guard false enforces exactly the declared bound"
+    ~count:100
+    QCheck2.Gen.(triple (int_range 1 5) (int_range 0 5) (int_range 0 2))
+    (fun (n, k, which) ->
+       QCheck2.assume (k <= n);
+       let s = Sat.create () in
+       let g = Sat.fresh_var s in
+       let vars = List.init n (fun _ -> Sat.fresh_var s) in
+       ignore
+         (guarded_card_case s ~which ~guard:(Lit.pos g)
+            (List.map Lit.pos vars) k);
+       List.for_all
+         (fun mask ->
+            let assumptions =
+              Lit.neg_of_var g
+              :: List.mapi
+                   (fun i v -> Lit.make v (mask land (1 lsl i) <> 0))
+                   vars
+            in
+            is_sat (Sat.solve ~assumptions s)
+            = guarded_card_meets ~which (popcount mask) k)
+         (List.init (1 lsl n) (fun m -> m)))
+
+let test_card_network_metadata () =
+  (* The recorder hands back what it built: inputs in call order, the
+     guard, the declared kind/bound, fresh auxiliaries, and every clause
+     carrying the guard literal. *)
+  let s = Sat.create () in
+  let g = Sat.fresh_var s in
+  let vars = List.init 4 (fun _ -> Sat.fresh_var s) in
+  let lits = List.map Lit.pos vars in
+  let net = Card.exactly ~guard:(Lit.pos g) s lits 2 in
+  Alcotest.(check bool) "kind" true (net.Card.kind = Card.Exactly);
+  Alcotest.(check int) "bound" 2 net.Card.bound;
+  Alcotest.(check bool) "inputs" true (net.Card.inputs = lits);
+  Alcotest.(check bool) "guard" true (net.Card.guard = Some (Lit.pos g));
+  Alcotest.(check bool) "aux allocated" true (net.Card.aux <> []);
+  Alcotest.(check bool) "guard on every clause" true
+    (List.for_all (fun c -> List.mem (Lit.pos g) c) net.Card.clauses);
+  Alcotest.(check bool) "guard var marked" true (Sat.is_guard s g)
 
 (* ------------------------------------------------------------------ *)
 (* Expr: formulas and Tseitin transformation                           *)
@@ -970,8 +1050,12 @@ let () =
          Alcotest.test_case "shared registers" `Quick
            test_card_exactly_shares_registers;
          Alcotest.test_case "exactly is exact (exhaustive)" `Slow
-           test_card_exactly_exhaustive ]
-       @ qsuite [ prop_card_exactly_counts ]);
+           test_card_exactly_exhaustive;
+         Alcotest.test_case "network metadata" `Quick
+           test_card_network_metadata ]
+       @ qsuite
+           [ prop_card_exactly_counts; prop_card_guard_vacuous;
+             prop_card_guard_enforces ]);
       ("expr",
        [ Alcotest.test_case "smart constructors" `Quick test_expr_smart_constructors ]
        @ qsuite [ prop_tseitin_equisatisfiable; prop_expr_eval_neg ]);
