@@ -60,6 +60,11 @@ let cubes = ref 0
 let enclint_on = ref false
 let enclint_simplify_on = ref false
 
+(* [--mapcheck]: static refutation through the abstract interpreter — the
+   CEGIS loop prunes candidate rows whose throughput interval excludes an
+   observation and skips statically determined singleton measurements. *)
+let mapcheck_on = ref false
+
 let make_cegis_config () =
   let base = Pipeline.default_config.Pipeline.cegis in
   let domains =
@@ -76,7 +81,8 @@ let make_cegis_config () =
     Pmi_core.Cegis.cube_conquer = !cubes;
     Pmi_core.Cegis.domains = domains;
     Pmi_core.Cegis.enclint = !enclint_on || !enclint_simplify_on;
-    Pmi_core.Cegis.enclint_simplify = !enclint_simplify_on }
+    Pmi_core.Cegis.enclint_simplify = !enclint_simplify_on;
+    Pmi_core.Cegis.mapcheck = !mapcheck_on }
 
 let run_pipeline ~reduced ~seed =
   let harness = make_harness ~reduced ~seed in
@@ -647,9 +653,53 @@ let lint_files files json reduced _seed =
                 e.Pmi_portmap.Mapping_io.message } ]
     end
   in
-  let diags = Lint.builtin ~catalog () @ List.concat_map lint_file files in
+  let diags =
+    Lint.builtin ~catalog ()
+    @ Pmi_analysis.Mapcheck.builtin ~catalog ()
+    @ List.concat_map lint_file files
+  in
   Diag.print_all ~json diags;
   prerr_endline (Diag.summary ~pass:"lint" diags);
+  if Diag.errors diags <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* MapCheck: the semantic analysis pass over port mappings              *)
+(* ------------------------------------------------------------------ *)
+
+module Mapcheck = Pmi_analysis.Mapcheck
+
+(* [pmi_repro mapcheck] audits the built-in ground-truth mappings through
+   the abstract interpreter — interval soundness against the exact
+   rational oracle and the LP model, counter-consistency replay,
+   dominance/symmetry structure — plus every mapping file given on the
+   command line. *)
+let mapcheck_run files json reduced _seed =
+  let catalog =
+    if reduced > 0 then Catalog.reduced ~per_bucket:reduced ()
+    else Catalog.zen_plus ()
+  in
+  let r_max = Pmi_machine.Profile.zen_plus.Pmi_machine.Profile.r_max in
+  let from_file path =
+    if not (Sys.file_exists path) then
+      [ Diag.make "mapping-file-missing" Diag.Error path "no such file" ]
+    else begin
+      let ic = open_in path in
+      let result =
+        Pmi_portmap.Mapping_io.read
+          ~resolve:(Pmi_portmap.Mapping_io.resolver catalog) ic
+      in
+      close_in ic;
+      match result with
+      | Error e ->
+        [ Diag.make "mapping-parse-error" Diag.Error path "line %d: %s"
+            e.Pmi_portmap.Mapping_io.line e.Pmi_portmap.Mapping_io.message ]
+      | Ok m ->
+        Mapcheck.audit_mapping ~r_max ~subject:("mapping " ^ path) m
+    end
+  in
+  let diags = Mapcheck.builtin ~catalog () @ List.concat_map from_file files in
+  Diag.print_all ~json diags;
+  prerr_endline (Diag.summary ~pass:"mapcheck" diags);
   if Diag.errors diags <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1117,6 +1167,15 @@ let enclint_simplify_flag =
              $(b,--enclint)." in
   Arg.(value & flag & info [ "enclint-simplify" ] ~doc)
 
+let mapcheck_flag =
+  let doc = "Statically refute candidate port sets through the abstract \
+             interpreter before paying for measurements or solver \
+             episodes: candidates whose sound throughput interval \
+             excludes an observation are pruned with a clause, and \
+             singleton measurements whose value is already statically \
+             determined are skipped.  The inferred mapping is unchanged." in
+  Arg.(value & flag & info [ "mapcheck" ] ~doc)
+
 let trace_out =
   let doc = "Record a telemetry trace of the run (CEGIS iterations, solver \
              calls, oracle searches, harness measurements) and write it to \
@@ -1131,7 +1190,7 @@ let metrics =
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
 let with_logs f reduced seed verbose dump_cnf certify_opt cubes_opt
-    enclint_opt enclint_simplify_opt trace metrics =
+    enclint_opt enclint_simplify_opt mapcheck_opt trace metrics =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   setup_obs ~trace ~metrics;
   cnf_prefix := dump_cnf;
@@ -1139,13 +1198,14 @@ let with_logs f reduced seed verbose dump_cnf certify_opt cubes_opt
   cubes := cubes_opt;
   enclint_on := enclint_opt;
   enclint_simplify_on := enclint_simplify_opt;
+  mapcheck_on := mapcheck_opt;
   f reduced seed
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf
           $ certify_flag $ cubes_flag $ enclint_global_flag
-          $ enclint_simplify_flag $ trace_out $ metrics)
+          $ enclint_simplify_flag $ mapcheck_flag $ trace_out $ metrics)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1179,14 +1239,15 @@ let () =
                         full re-inference (per-flush latency, speedup, and \
                         a mapping-equivalence report)")
                Term.(const (fun stream_n batch reduced seed verbose dump_cnf
-                             certify cubes enclint enclint_simplify trace
-                             metrics ->
+                             certify cubes enclint enclint_simplify mapcheck
+                             trace metrics ->
                    with_logs (delta_stream stream_n batch) reduced seed
                      verbose dump_cnf certify cubes enclint enclint_simplify
-                     trace metrics)
+                     mapcheck trace metrics)
                      $ stream_n $ batch $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ trace_out $ metrics));
+                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ metrics));
             cmd "export" "Infer the port mapping and write it to a file" export;
             cmd "diff" "Compare the inferred mapping with the documentation" diff;
             cmd "report" "Write a markdown report of the whole study" report;
@@ -1198,13 +1259,15 @@ let () =
                (Cmd.info "analyze"
                   ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             cubes enclint enclint_simplify trace metrics ->
+                             cubes enclint enclint_simplify mapcheck trace
+                             metrics ->
                    with_logs (analyze_block insns) reduced seed verbose
-                     dump_cnf certify cubes enclint enclint_simplify trace
-                     metrics)
+                     dump_cnf certify cubes enclint enclint_simplify mapcheck
+                     trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ trace_out $ metrics));
+                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ metrics));
             (let insns =
                let doc = "Instruction scheme (name or unique prefix); repeatable." in
                Arg.(value & opt_all string [] & info [ "i"; "insn" ] ~docv:"SCHEME" ~doc)
@@ -1214,13 +1277,15 @@ let () =
                   ~doc:"Show the explanatory microbenchmarks behind a scheme's \
                         inferred port usage")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             cubes enclint enclint_simplify trace metrics ->
+                             cubes enclint enclint_simplify mapcheck trace
+                             metrics ->
                    with_logs (explain_scheme insns) reduced seed verbose
-                     dump_cnf certify cubes enclint enclint_simplify trace
-                     metrics)
+                     dump_cnf certify cubes enclint enclint_simplify mapcheck
+                     trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ trace_out $ metrics));
+                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ metrics));
             (let files =
                let doc = "Port-mapping file(s) in the export format, linted \
                           in addition to the built-in profiles, catalog and \
@@ -1238,14 +1303,45 @@ let () =
                         ground-truth mappings (plus optional mapping files); \
                         exits non-zero on any error-severity diagnostic")
                Term.(const (fun files json reduced seed verbose dump_cnf
-                             certify cubes enclint enclint_simplify trace
-                             metrics ->
+                             certify cubes enclint enclint_simplify mapcheck
+                             trace metrics ->
                    with_logs (lint_files files json) reduced seed verbose
-                     dump_cnf certify cubes enclint enclint_simplify trace
-                     metrics)
+                     dump_cnf certify cubes enclint enclint_simplify mapcheck
+                     trace metrics)
                      $ files $ json $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ trace_out $ metrics));
+                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ metrics));
+            (let files =
+               let doc = "Port-mapping file(s) in the export format, audited \
+                          in addition to the built-in ground-truth mappings; \
+                          repeatable." in
+               Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+             in
+             let json =
+               let doc = "Emit one JSON object per diagnostic instead of \
+                          human-readable text (same schema as `lint \
+                          --json`)." in
+               Arg.(value & flag & info [ "json" ] ~doc)
+             in
+             Cmd.v
+               (Cmd.info "mapcheck"
+                  ~doc:"Semantically audit port mappings through the \
+                        abstract interpreter (throughput-interval soundness \
+                        against the exact oracle and the LP model, \
+                        counter-consistency replay, dominated and \
+                        interchangeable ports); exits non-zero on any \
+                        error-severity diagnostic")
+               Term.(const (fun files json reduced seed verbose dump_cnf
+                             certify cubes enclint enclint_simplify mapcheck
+                             trace metrics ->
+                   with_logs (mapcheck_run files json) reduced seed verbose
+                     dump_cnf certify cubes enclint enclint_simplify mapcheck
+                     trace metrics)
+                     $ files $ json $ reduced $ seed $ verbose $ dump_cnf
+                     $ certify_flag $ cubes_flag $ enclint_global_flag
+                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ metrics));
             (let files =
                let doc = "Port-mapping file(s) whose implied encodings are \
                           analyzed in addition to the built-in shapes; \
@@ -1272,14 +1368,14 @@ let () =
                         diagnostic")
                Term.(const (fun files simplify json reduced seed verbose
                              dump_cnf certify cubes enclint enclint_simplify
-                             trace metrics ->
+                             mapcheck trace metrics ->
                    with_logs (enclint_run files simplify json) reduced seed
                      verbose dump_cnf certify cubes enclint enclint_simplify
-                     trace metrics)
+                     mapcheck trace metrics)
                      $ files $ simplify $ json $ reduced $ seed $ verbose
                      $ dump_cnf $ certify_flag $ cubes_flag
                      $ enclint_global_flag $ enclint_simplify_flag
-                     $ trace_out $ metrics));
+                     $ mapcheck_flag $ trace_out $ metrics));
             (let schedules =
                let doc = "Number of deterministic replay schedules to shake \
                           each parallel workload through (capped at the \
@@ -1307,11 +1403,11 @@ let () =
                         exits non-zero on any data race")
                Term.(const (fun schedules plant json reduced seed verbose
                              dump_cnf certify cubes enclint enclint_simplify
-                             trace metrics ->
+                             mapcheck trace metrics ->
                    with_logs (sanitize schedules plant json) reduced seed
                      verbose dump_cnf certify cubes enclint enclint_simplify
-                     trace metrics)
+                     mapcheck trace metrics)
                      $ schedules $ plant $ json $ reduced $ seed $ verbose
                      $ dump_cnf $ certify_flag $ cubes_flag
                      $ enclint_global_flag $ enclint_simplify_flag
-                     $ trace_out $ metrics)) ]))
+                     $ mapcheck_flag $ trace_out $ metrics)) ]))

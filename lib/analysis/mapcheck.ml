@@ -1,0 +1,410 @@
+module Rat = Pmi_numeric.Rat
+module Portset = Pmi_portmap.Portset
+module Mapping = Pmi_portmap.Mapping
+module Experiment = Pmi_portmap.Experiment
+module Throughput = Pmi_portmap.Throughput
+module Oracle = Pmi_portmap.Oracle
+module Bounds = Pmi_portmap.Oracle.Bounds
+module Lp_model = Pmi_portmap.Lp_model
+module Scheme = Pmi_isa.Scheme
+module Catalog = Pmi_isa.Catalog
+module Profile = Pmi_machine.Profile
+module Diag = Pmi_diag.Diag
+
+type severity = Diag.severity =
+  | Error
+  | Warning
+
+type diag = Diag.t = {
+  rule : string;
+  severity : severity;
+  subject : string;
+  message : string;
+}
+
+let errors = Diag.errors
+let diag = Diag.make
+
+(* ------------------------------------------------------------------ *)
+(* Abstract domain helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+type interval = Bounds.interval = {
+  lo : Rat.t;
+  hi : Rat.t;
+}
+
+(* [pmi_analysis] sits below [pmi_measure], so the harness tolerance
+   (Harness.Compare.default_epsilon = 0.02) is mirrored here as an exact
+   rational rather than imported. *)
+let default_epsilon = Rat.of_ints 1 50
+
+let excludes ~epsilon ~length { lo; hi } value =
+  let slack = Rat.mul epsilon (Rat.of_int length) in
+  Rat.compare value (Rat.sub lo slack) < 0
+  || Rat.compare value (Rat.add hi slack) > 0
+
+let portsets_of_cardinality ~num_ports c =
+  if num_ports < 1 || num_ports > 20 then
+    invalid_arg "Mapcheck.portsets_of_cardinality: unsupported port count";
+  let out = ref [] in
+  for mask = (1 lsl num_ports) - 1 downto 1 do
+    let rec popcount m = if m = 0 then 0 else (m land 1) + popcount (m lsr 1) in
+    if popcount mask = c then out := Portset.of_mask mask :: !out
+  done;
+  !out
+
+let proper_candidates ~num_ports c =
+  List.map (fun ports -> [ (ports, 1) ]) (portsets_of_cardinality ~num_ports c)
+
+(* ------------------------------------------------------------------ *)
+(* Static refutation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Refuter = struct
+  type t = {
+    epsilon : Rat.t;
+    r_max : int;
+    bounds : Bounds.t;
+    ids : (int, unit) Hashtbl.t; (* tracked scheme ids *)
+    mutable refuted : int;
+  }
+
+  let create ?(epsilon = default_epsilon) ~num_ports ~r_max rows =
+    let bounds = Bounds.create ~num_ports in
+    let ids = Hashtbl.create 16 in
+    List.iter
+      (fun (scheme, cands) ->
+         if cands <> [] then begin
+           Bounds.set_candidates bounds scheme cands;
+           Hashtbl.replace ids (Scheme.id scheme) ()
+         end)
+      rows;
+    { epsilon; r_max; bounds; ids; refuted = 0 }
+
+  let tracked t experiment =
+    List.for_all
+      (fun (s, _) -> Hashtbl.mem t.ids (Scheme.id s))
+      (Experiment.to_counts experiment)
+
+  let surviving t scheme = Bounds.candidates t.bounds scheme
+  let refuted_count t = t.refuted
+
+  let statically_determined t experiment =
+    if not (tracked t experiment) then None
+    else
+      match Bounds.inverse_bounded ~r_max:t.r_max t.bounds experiment with
+      | iv when Bounds.is_point iv -> Some iv.lo
+      | _ ->
+        (* The pointwise interval is loose exactly when it mixes tables of
+           different candidates, so a non-point interval can still hide a
+           statically determined value — the Proper-c singleton benchmark,
+           where every c-port candidate gives the same 1/c.  When a single
+           scheme of the experiment is undetermined, pin it to each
+           candidate in turn: if every pinned interval collapses to the
+           same point, no measurement outcome could distinguish or refute
+           anything. *)
+        let multi =
+          List.filter
+            (fun (s, _) ->
+               match Bounds.candidates t.bounds s with
+               | Some (_ :: _ :: _) -> true
+               | Some _ | None -> false)
+            (Experiment.to_counts experiment)
+        in
+        (match multi with
+         | [ (scheme, _) ] ->
+           let cands =
+             Option.value ~default:[] (Bounds.candidates t.bounds scheme)
+           in
+           let pinned =
+             List.map
+               (fun u ->
+                  Bounds.inverse_bounded ~r_max:t.r_max
+                    (Bounds.pin t.bounds scheme u)
+                    experiment)
+               cands
+           in
+           (match pinned with
+            | iv0 :: rest
+              when Bounds.is_point iv0
+                   && List.for_all
+                        (fun iv ->
+                           Bounds.is_point iv && Rat.equal iv.Bounds.lo iv0.lo)
+                        rest -> Some iv0.lo
+            | _ -> None)
+         | _ -> None)
+      | exception Throughput.Unsupported _ -> None
+
+  let observe t experiment value =
+    if not (tracked t experiment) then []
+    else begin
+      let length = Experiment.length experiment in
+      let refuted = ref [] in
+      let changed = ref true in
+      (* Fixpoint over the experiment's schemes: shrinking one scheme's
+         surviving set tightens the intervals of the others. *)
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (scheme, _) ->
+             match Bounds.candidates t.bounds scheme with
+             | None -> ()
+             | Some [ _ ] -> ()
+             | Some cands ->
+               let keep, drop =
+                 List.partition
+                   (fun usage ->
+                      let pinned = Bounds.pin t.bounds scheme usage in
+                      let iv =
+                        Bounds.inverse_bounded ~r_max:t.r_max pinned experiment
+                      in
+                      not (excludes ~epsilon:t.epsilon ~length iv value))
+                   cands
+               in
+               (* keep = [] would mean the observation contradicts the model
+                  class; leave the scheme alone and let the SAT loop surface
+                  the inconsistency. *)
+               if drop <> [] && keep <> [] then begin
+                 Bounds.set_candidates t.bounds scheme keep;
+                 t.refuted <- t.refuted + List.length drop;
+                 refuted := List.map (fun u -> (scheme, u)) drop @ !refuted;
+                 changed := true
+               end)
+          (Experiment.to_counts experiment)
+      done;
+      List.rev !refuted
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Dominance analysis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let swap_port p q ports =
+  let has_p = Portset.mem p ports and has_q = Portset.mem q ports in
+  if has_p = has_q then ports
+  else if has_p then Portset.add q (Portset.diff ports (Portset.singleton p))
+  else Portset.add p (Portset.diff ports (Portset.singleton q))
+
+let interchangeable_ports m =
+  let num_ports = Mapping.num_ports m in
+  let schemes = Mapping.schemes m in
+  let invariant p q =
+    List.for_all
+      (fun s ->
+         let usage = Mapping.usage m s in
+         let swapped =
+           List.map (fun (ports, n) -> (swap_port p q ports, n)) usage
+         in
+         Mapping.equal_usage
+           (Mapping.normalize_usage usage)
+           (Mapping.normalize_usage swapped))
+      schemes
+  in
+  let out = ref [] in
+  for p = 0 to num_ports - 1 do
+    for q = p + 1 to num_ports - 1 do
+      if invariant p q then out := (p, q) :: !out
+    done
+  done;
+  List.rev !out
+
+let dominated_ports m =
+  let num_ports = Mapping.num_ports m in
+  let used = Mapping.ports_used m in
+  let schemes = Mapping.schemes m in
+  (* dominates q p: every port set containing p also contains q. *)
+  let dominates q p =
+    List.for_all
+      (fun s ->
+         List.for_all
+           (fun (ports, _) -> (not (Portset.mem p ports)) || Portset.mem q ports)
+           (Mapping.usage m s))
+      schemes
+  in
+  let out = ref [] in
+  for p = 0 to num_ports - 1 do
+    for q = 0 to num_ports - 1 do
+      if p <> q && Portset.mem p used && Portset.mem q used
+         && dominates q p
+         && not (dominates p q)
+      then out := (p, q) :: !out
+    done
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Auditor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let audit_rows ~subject rows =
+  List.filter_map
+    (fun (scheme, cands) ->
+       if cands = [] then
+         Some
+           (diag "empty-candidates" Error subject
+              "scheme %s has no candidate rows left: no completion of the \
+               partial mapping exists" (Scheme.name scheme))
+       else None)
+    rows
+
+let pair_list_to_string pairs =
+  let shown = List.filteri (fun i _ -> i < 8) pairs in
+  let rendered =
+    List.map (fun (p, q) -> Printf.sprintf "(%d,%d)" p q) shown
+  in
+  let suffix = if List.length pairs > 8 then ", …" else "" in
+  String.concat ", " rendered ^ suffix
+
+(* Experiments exercising the mapping: singletons plus (1,2)-weighted pairs
+   of neighbouring schemes, capped so auditing the 2,980-scheme ground
+   truth stays cheap. *)
+let sample_experiments ~samples m =
+  let schemes = Array.of_list (Mapping.schemes m) in
+  let n = Array.length schemes in
+  let singles =
+    List.init (min n samples) (fun i -> Experiment.singleton schemes.(i))
+  in
+  let pairs =
+    if n < 2 then []
+    else
+      List.init
+        (min (n - 1) (samples / 2))
+        (fun i ->
+           Experiment.of_counts [ (schemes.(i), 1); (schemes.(i + 1), 2) ])
+  in
+  singles @ pairs
+
+let audit_mapping ?(epsilon = default_epsilon) ?(samples = 12) ?(lp_samples = 3)
+    ?(against = []) ~r_max ~subject m =
+  let out = ref [] in
+  let push d = out := d :: !out in
+  if Mapping.size m > 0 then begin
+    let bounds = Bounds.of_mapping m in
+    let sampled = sample_experiments ~samples m in
+    (* Interval machinery vs the exact oracles: on a concrete mapping every
+       interval must be the point equal to the bottleneck-formula value. *)
+    List.iter
+      (fun e ->
+         match
+           ( Bounds.inverse_bounded ~r_max bounds e,
+             Throughput.inverse_bounded ~r_max m e )
+         with
+         | iv, exact ->
+           if Rat.compare iv.lo iv.hi > 0 then
+             push
+               (diag "interval-mismatch" Error subject
+                  "experiment %s: interval has lo > hi (%s > %s)"
+                  (Experiment.to_string e) (Rat.to_string iv.lo)
+                  (Rat.to_string iv.hi));
+           if not (Rat.equal iv.lo exact && Rat.equal iv.hi exact) then
+             push
+               (diag "interval-mismatch" Error subject
+                  "experiment %s: interval [%s, %s] but the exact oracle \
+                   gives %s"
+                  (Experiment.to_string e) (Rat.to_string iv.lo)
+                  (Rat.to_string iv.hi) (Rat.to_string exact))
+         | exception Throughput.Unsupported s ->
+           push
+             (diag "interval-mismatch" Error subject
+                "experiment %s: scheme %s unsupported by the interval oracle"
+                (Experiment.to_string e) (Scheme.name s)))
+      sampled;
+    (* Exact-rational cross-check against the §2.2 linear program. *)
+    List.iteri
+      (fun i e ->
+         if i < lp_samples then
+           match (Lp_model.inverse m e, Throughput.inverse m e) with
+           | lp, exact ->
+             if not (Rat.equal lp exact) then
+               push
+                 (diag "lp-mismatch" Error subject
+                    "experiment %s: LP optimum %s but bottleneck formula \
+                     gives %s"
+                    (Experiment.to_string e) (Rat.to_string lp)
+                    (Rat.to_string exact))
+           | exception Failure msg ->
+             push
+               (diag "lp-infeasible" Error subject
+                  "experiment %s: LP solve failed: %s"
+                  (Experiment.to_string e) msg)
+           | exception Throughput.Unsupported s ->
+             push
+               (diag "lp-infeasible" Error subject
+                  "experiment %s: scheme %s unsupported"
+                  (Experiment.to_string e) (Scheme.name s)))
+      sampled;
+    (* Counter-consistency: replay recorded observations. *)
+    List.iter
+      (fun (e, observed) ->
+         match Bounds.inverse_bounded ~r_max bounds e with
+         | iv ->
+           if excludes ~epsilon ~length:(Experiment.length e) iv observed then
+             push
+               (diag "counter-inconsistent" Error subject
+                  "observation %s = %s cycles contradicts the mapping: \
+                   interval [%s, %s] ± ε·|e|"
+                  (Experiment.to_string e) (Rat.to_string observed)
+                  (Rat.to_string iv.lo) (Rat.to_string iv.hi))
+         | exception Throughput.Unsupported s ->
+           push
+             (diag "observation-unmapped-scheme" Error subject
+                "observation %s mentions scheme %s, which the mapping does \
+                 not map"
+                (Experiment.to_string e) (Scheme.name s)))
+      against;
+    (* Schemes that can never bottleneck: their solo throughput is at or
+       below the frontend rate, so pure experiments never constrain them. *)
+    if r_max > 0 then
+      List.iter
+        (fun s ->
+           let usage = Mapping.usage m s in
+           if usage <> [] then begin
+             let tp = Throughput.of_masses usage in
+             if Rat.compare tp (Rat.of_ints 1 r_max) <= 0 then
+               push
+                 (diag "frontend-masked" Warning
+                    (Printf.sprintf "%s, scheme %s" subject (Scheme.name s))
+                    "usage %s never bottlenecks: solo throughput %s ≤ \
+                     frontend 1/%d, so the row is under-determined by \
+                     throughput measurements"
+                    (Mapping.usage_to_string usage) (Rat.to_string tp) r_max)
+           end)
+        (Mapping.schemes m);
+    (* Dominance analysis. *)
+    (match interchangeable_ports m with
+     | [] -> ()
+     | pairs ->
+       push
+         (diag "interchangeable-ports" Warning subject
+            "port pairs %s are interchangeable (swapping them leaves every \
+             usage invariant); any inferred mapping is only unique up to \
+             these swaps" (pair_list_to_string pairs)));
+    (match dominated_ports m with
+     | [] -> ()
+     | pairs ->
+       push
+         (diag "dominated-port" Warning subject
+            "dominated port pairs %s: the first port's µops always admit \
+             the second, so blocking the second alone can never isolate \
+             the first" (pair_list_to_string pairs)))
+  end;
+  List.rev !out
+
+let audit_profile ?catalog (p : Profile.t) =
+  let cat = match catalog with Some c -> c | None -> Catalog.zen_plus () in
+  let subject = Printf.sprintf "ground truth (%s)" p.name in
+  let gt = Pmi_machine.Ground_truth.mapping_for p cat in
+  let arity =
+    if Mapping.num_ports gt <> p.num_ports then
+      [ diag "arity-drift" Error subject
+          "mapping declares %d ports but profile %s has %d"
+          (Mapping.num_ports gt) p.name p.num_ports ]
+    else []
+  in
+  arity @ audit_mapping ~r_max:p.r_max ~subject gt
+
+let builtin ?catalog () =
+  let cat = match catalog with Some c -> c | None -> Catalog.zen_plus () in
+  List.concat_map (fun p -> audit_profile ~catalog:cat p) Profile.all

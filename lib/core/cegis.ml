@@ -18,6 +18,16 @@ let c_candidates = Obs.counter "cegis.candidates_tried"
 let c_observations = Obs.counter "cegis.observations"
 let c_enclint_findings = Obs.counter "cegis.enclint.findings"
 let c_enclint_removed = Obs.counter "cegis.enclint.clauses_removed"
+let c_sat_episodes = Obs.counter "cegis.sat_episodes"
+let c_mapcheck_refuted = Obs.counter "cegis.mapcheck.refuted_rows"
+let c_mapcheck_saved = Obs.counter "cegis.mapcheck.measurements_saved"
+let c_mapcheck_symmetries = Obs.counter "cegis.mapcheck.symmetry_facts"
+
+module Mapcheck = Pmi_analysis.Mapcheck
+
+(* Process-wide episode tally; per-run numbers are snapshots around one
+   inference (the repo never runs two inferences concurrently). *)
+let episode_count = Atomic.make 0
 
 (* Sanitizer shadow locations for the two Vecs every CEGIS phase shares:
    the observation log (read by parallel validation sweeps, written only
@@ -48,6 +58,7 @@ type config = {
   certify : bool;
   enclint : bool;
   enclint_simplify : bool;
+  mapcheck : bool;
 }
 
 exception Certification_failure of string
@@ -69,7 +80,8 @@ let default_config =
     dump_cnf = None;
     certify = false;
     enclint = false;
-    enclint_simplify = false }
+    enclint_simplify = false;
+    mapcheck = false }
 
 type observation = {
   experiment : Experiment.t;
@@ -81,6 +93,7 @@ type stats = {
   observations : observation list;
   candidates_tried : int;
   theory_lemmas : int;
+  sat_episodes : int;
   sat : Pmi_smt.Sat.stats;
 }
 
@@ -320,11 +333,37 @@ let certify_sat config encoding observations model =
    is on. *)
 let certified_solve config encoding observations ?assumptions ~check () =
   let sat = Encoding.sat encoding in
+  Atomic.incr episode_count;
+  Obs.incr c_sat_episodes;
   let verdict = solve_sub config encoding ?assumptions ~check sat in
   (match verdict with
    | Solver.Unsat -> certify_unsat config ?assumptions sat
    | Solver.Sat model -> certify_sat config encoding observations model);
   verdict
+
+(* Candidate-row tracker behind [config.mapcheck]: every proper scheme
+   starts from all C(num_ports, c) cardinality-c rows; observations then
+   refute candidates whose throughput interval excludes the measured value.
+   Wide layouts opt out (the tracker enumerates dense candidate tables), and
+   improper schemes are simply untracked — the refuter ignores experiments
+   that mention them. *)
+let mapcheck_refuter config specs =
+  if (not config.mapcheck) || config.num_ports > 12 then None
+  else
+    let rows =
+      List.filter_map
+        (fun (s, spec) ->
+           match spec with
+           | Encoding.Proper c ->
+             Some (s, Mapcheck.proper_candidates ~num_ports:config.num_ports c)
+           | Encoding.Improper _ -> None)
+        specs
+    in
+    if rows = [] then None
+    else
+      Some
+        (Mapcheck.Refuter.create ~epsilon:config.epsilon
+           ~num_ports:config.num_ports ~r_max:config.r_max rows)
 
 let find_mapping config encoding observations pool =
   Obs.span "cegis.find_mapping" (fun () ->
@@ -562,10 +601,11 @@ let find_other_mapping_incremental config state specs observations pool m1
 (* [sat_acc] accumulates the throwaway encoding's solver counters so the
    per-run statistics stay comparable with the incremental path. *)
 let find_other_mapping_fresh config specs observations pool m1 tried_counter
-    sat_acc =
+    sat_acc ~register =
   Obs.span ~args:[ ("mode", Obs.Str "fresh") ] "cegis.find_other_mapping"
   @@ fun () ->
   let encoding = fresh_encoding config specs pool in
+  register encoding;
   enclint_gate config ~lemmas:(fun () -> Vec.to_list pool) encoding;
   let sat = Encoding.sat encoding in
   let check = theory_check config encoding observations pool in
@@ -657,6 +697,34 @@ let infer ?(config = default_config) ~measure ~specs () =
   Obs.span "cegis.infer" @@ fun () ->
   let pool = Vec.create () in
   let observations = Vec.create () in
+  let episodes_before = Atomic.get episode_count in
+  (* Static refutation (MapCheck): the refuter tracks every proper scheme's
+     surviving candidate rows.  Refuted rows become clauses in every
+     standing encoding ([refutation_targets]) and are replayed into any
+     encoding built later ([refuted_log]) — all before those encodings pay
+     a SAT episode for rediscovering the contradiction. *)
+  let refuter = mapcheck_refuter config specs in
+  let refuted_log = ref [] in
+  let refutation_targets = ref [] in
+  let add_refuted scheme ports =
+    refuted_log := (scheme, ports) :: !refuted_log;
+    List.iter
+      (fun enc ->
+         Pmi_smt.Sat.add_clause (Encoding.sat enc)
+           (Encoding.refute_row enc scheme ports))
+      !refutation_targets
+  in
+  let replay_refutations enc =
+    List.iter
+      (fun (scheme, ports) ->
+         Pmi_smt.Sat.add_clause (Encoding.sat enc)
+           (Encoding.refute_row enc scheme ports))
+      (List.rev !refuted_log)
+  in
+  let register_target enc =
+    refutation_targets := enc :: !refutation_targets;
+    replay_refutations enc
+  in
   let observe experiment =
     let cycles =
       Obs.span "cegis.observe" (fun () -> measure experiment)
@@ -665,10 +733,49 @@ let infer ?(config = default_config) ~measure ~specs () =
     let obs = { experiment; cycles } in
     Race.touch_write obs_loc;
     Vec.push observations obs;
+    (match refuter with
+     | None -> ()
+     | Some r ->
+       let dropped =
+         Obs.span "cegis.mapcheck" (fun () ->
+             Mapcheck.Refuter.observe r experiment cycles)
+       in
+       if dropped <> [] then begin
+         Obs.add c_mapcheck_refuted (List.length dropped);
+         Log.debug (fun m ->
+             m "mapcheck: observation %s refutes %d candidate row(s)"
+               (Experiment.to_string experiment) (List.length dropped));
+         List.iter
+           (fun (scheme, usage) ->
+              match usage with
+              | [ (ports, _) ] -> add_refuted scheme ports
+              | _ -> ())
+           dropped
+       end);
     obs
   in
-  List.iter (fun (s, _) -> ignore (observe (Experiment.singleton s))) specs;
+  List.iter
+    (fun (s, _) ->
+       let e = Experiment.singleton s in
+       let statically_known =
+         match refuter with
+         | Some r -> Mapcheck.Refuter.statically_determined r e <> None
+         | None -> false
+       in
+       if statically_known then begin
+         (* A point interval: under the port-mapping model every candidate
+            completion predicts the same value, so the measurement can
+            refute nothing.  The convergence-time validation sweep still
+            floods every scheme against the live machine. *)
+         Obs.incr c_mapcheck_saved;
+         Log.debug (fun m ->
+             m "mapcheck: %s statically determined; measurement skipped"
+               (Experiment.to_string e))
+       end
+       else ignore (observe e))
+    specs;
   let fm_encoding = fresh_encoding config specs pool in
+  register_target fm_encoding;
   let other_state =
     if config.incremental_sat then begin
       let o_encoding =
@@ -678,6 +785,7 @@ let infer ?(config = default_config) ~measure ~specs () =
       in
       Pmi_smt.Sat.set_reduce_enabled (Encoding.sat o_encoding)
         config.clause_db_reduction;
+      register_target o_encoding;
       Some { o_encoding; o_synced = 0 }
     end
     else None
@@ -691,7 +799,7 @@ let infer ?(config = default_config) ~measure ~specs () =
         tried
     | None ->
       find_other_mapping_fresh config specs observations pool m1 tried
-        sat_extra
+        sat_extra ~register:replay_refutations
   in
   let tried = ref 0 in
   let sat_stats () =
@@ -729,6 +837,7 @@ let infer ?(config = default_config) ~measure ~specs () =
         observations = Vec.to_list observations;
         candidates_tried = !tried;
         theory_lemmas = Vec.length pool;
+        sat_episodes = Atomic.get episode_count - episodes_before;
         sat }
   in
   let sweep = Array.of_list (validation_experiments specs) in
@@ -974,6 +1083,7 @@ module Delta = struct
       observations = Vec.to_list session.d_observations;
       candidates_tried = 0;
       theory_lemmas = Vec.length session.d_pool;
+      sat_episodes = 0;
       sat = Pmi_smt.Sat.stats (Encoding.sat session.d_encoding) }
 
   let flush session =
@@ -982,6 +1092,7 @@ module Delta = struct
     | batch ->
       session.d_pending <- [];
       let config = session.d_config in
+      let episodes_before = Atomic.get episode_count in
       Obs.span
         ~args:[ ("batch", Obs.Int (List.length batch)) ]
         "cegis.delta"
@@ -1031,10 +1142,44 @@ module Delta = struct
         session.d_mapping <- m
       end;
       List.iter (fun (s, spec) -> Encoding.append_row encoding s spec) batch;
+      (* MapCheck symmetry restoration: delta encodings are built without
+         symmetry breaking (frozen rows pin port identities), but any port
+         pair whose swap leaves the accepted mapping invariant is still
+         interchangeable over the batch rows.  Feed those pairs back as
+         ordering facts scoped to the fresh rows. *)
+      if config.mapcheck then begin
+        let pairs = Mapcheck.interchangeable_ports session.d_mapping in
+        List.iter
+          (fun (p, q) ->
+             Encoding.order_ports ~schemes:batch_schemes encoding p q;
+             Obs.incr c_mapcheck_symmetries)
+          pairs
+      end;
       (* One batched harness sweep over every queued scheme's singleton
          before the solver episode starts, so measurement round-trips
-         amortise across the batch. *)
-      let singletons = List.map Experiment.singleton batch_schemes in
+         amortise across the batch.  Under MapCheck, singletons whose
+         throughput is statically determined by the model class (point
+         interval over all candidate rows) are excluded — the measurement
+         could never refute anything. *)
+      let refuter = mapcheck_refuter config batch in
+      let statically_determined e =
+        match refuter with
+        | None -> false
+        | Some r ->
+          (match Mapcheck.Refuter.statically_determined r e with
+           | Some _ ->
+             Obs.incr c_mapcheck_saved;
+             Log.debug (fun m ->
+                 m "mapcheck: skipping statically determined %s"
+                   (Experiment.to_string e));
+             true
+           | None -> false)
+      in
+      let singletons =
+        List.filter
+          (fun e -> not (statically_determined e))
+          (List.map Experiment.singleton batch_schemes)
+      in
       let sweep_cycles =
         Obs.span
           ~args:[ ("experiments", Obs.Int (List.length singletons)) ]
@@ -1061,6 +1206,7 @@ module Delta = struct
           observations = Vec.to_list session.d_observations;
           candidates_tried = !tried;
           theory_lemmas = Vec.length session.d_pool;
+          sat_episodes = Atomic.get episode_count - episodes_before;
           sat = Pmi_smt.Sat.stats (Encoding.sat encoding) }
       in
       let observe experiment =

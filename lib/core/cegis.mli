@@ -109,6 +109,33 @@ type config = {
                                    emitted into the proof trace so
                                    [certify] verdicts still check (default
                                    [false]) *)
+  mapcheck : bool;             (** static refutation through the abstract
+                                   interpreter ({!Pmi_analysis.Mapcheck}):
+                                   the loop tracks every proper scheme's
+                                   candidate port sets and, on each new
+                                   observation, refutes candidates whose
+                                   sound throughput interval excludes the
+                                   measured value (same ε·|e| tolerance as
+                                   consistency) — each refutation lands as
+                                   a clause ({!Encoding.refute_row}) in
+                                   every live encoding before any solver
+                                   episode pays for rediscovering it.
+                                   Initial singleton measurements whose
+                                   value is already statically determined
+                                   (point interval across all surviving
+                                   candidates under the frontend bound)
+                                   are skipped entirely, and in delta
+                                   sessions interchangeable-port pairs of
+                                   the accepted mapping are re-fed as
+                                   ordering facts over the batch rows
+                                   ({!Encoding.order_ports}).  Refutation
+                                   is sound w.r.t. the model class, so the
+                                   inferred mapping is unchanged — only
+                                   the measurement and search effort
+                                   shrink.  Tallied under the
+                                   [cegis.mapcheck.*] counters; off for
+                                   [num_ports] > 12 where the candidate
+                                   spaces explode (default [false]) *)
 }
 
 exception Certification_failure of string
@@ -137,6 +164,12 @@ type stats = {
   candidates_tried : int;           (** mappings examined by
                                         [find_other_mapping] overall *)
   theory_lemmas : int;
+  sat_episodes : int;               (** solver episodes this run paid for —
+                                        every [findMapping] /
+                                        [findOtherMapping] / delta-flush
+                                        solve, certified or not; the unit
+                                        MapCheck's static refutation tries
+                                        to save *)
   sat : Pmi_smt.Sat.stats;          (** aggregated solver counters across
                                         the [findMapping] and
                                         [findOtherMapping] encodings *)

@@ -377,6 +377,82 @@ let block_model t model =
   block_footprint t model (List.map (fun r -> r.scheme) (live_rows t))
 
 (* ------------------------------------------------------------------ *)
+(* Static refutation support (MapCheck)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let refute_row t scheme ports =
+  match
+    List.find_opt (fun r -> r.live && Scheme.equal r.scheme scheme)
+      (Array.to_list t.rows)
+  with
+  | None -> invalid_arg "Encoding.refute_row: no live row for scheme"
+  | Some row ->
+    let lits = ref [] in
+    (* Guarded rows scope the refutation to their lifetime, exactly like
+       theory lemmas. *)
+    if row.act >= 0 then lits := Lit.neg_of_var row.act :: !lits;
+    Array.iteri
+      (fun k v ->
+         lits :=
+           (if Portset.mem k ports then Lit.neg_of_var v else Lit.pos v)
+           :: !lits)
+      row.own;
+    !lits
+
+let order_ports ?schemes t p q =
+  if p < 0 || q < 0 || p >= t.num_ports || q >= t.num_ports || p = q then
+    invalid_arg "Encoding.order_ports: bad port pair";
+  let selected =
+    live_rows t
+    |> List.filter (fun r ->
+        match r.spec with
+        | Improper _ -> false
+        | Proper _ ->
+          (match schemes with
+           | None -> true
+           | Some ss -> List.exists (Scheme.equal r.scheme) ss))
+  in
+  if selected <> [] then begin
+    (* Every clause of the chain carries the ¬act guard of each selected
+       guarded row: retiring any of those rows root-satisfies the fact, so
+       it can never outlive the rows it orders. *)
+    let guards =
+      List.filter_map
+        (fun r -> if r.act >= 0 then Some (Lit.neg_of_var r.act) else None)
+        selected
+    in
+    let add cl = Sat.add_clause t.solver (guards @ cl) in
+    let xs = List.map (fun r -> r.own.(p)) selected in
+    let ys = List.map (fun r -> r.own.(q)) selected in
+    (* Same lexicographic chain as the create-time column ordering. *)
+    let rec go prefix_equal xs ys =
+      match (xs, ys) with
+      | [], [] -> ()
+      | x :: xs', y :: ys' ->
+        (match prefix_equal with
+         | None -> add [ Lit.pos x; Lit.neg_of_var y ]
+         | Some a -> add [ Lit.neg_of_var a; Lit.pos x; Lit.neg_of_var y ]);
+        if xs' <> [] then begin
+          let a' = Sat.fresh_var t.solver in
+          let prefix_lits =
+            match prefix_equal with None -> [] | Some a -> [ a ]
+          in
+          List.iter
+            (fun a -> add [ Lit.neg_of_var a'; Lit.pos a ])
+            prefix_lits;
+          add [ Lit.neg_of_var a'; Lit.neg_of_var x; Lit.pos y ];
+          add [ Lit.neg_of_var a'; Lit.pos x; Lit.neg_of_var y ];
+          let base = List.map Lit.neg_of_var prefix_lits in
+          add (Lit.pos a' :: Lit.pos x :: Lit.pos y :: base);
+          add (Lit.pos a' :: Lit.neg_of_var x :: Lit.neg_of_var y :: base);
+          go (Some a') xs' ys'
+        end
+      | _, _ -> assert false
+    in
+    go None xs ys
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Static analysis support (EncLint)                                   *)
 (* ------------------------------------------------------------------ *)
 

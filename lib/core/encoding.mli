@@ -107,6 +107,29 @@ val block_footprint :
 val block_model : t -> bool array -> Pmi_smt.Lit.t list
 (** [block_footprint] over all schemes. *)
 
+val refute_row :
+  t -> Pmi_isa.Scheme.t -> Pmi_portmap.Portset.t -> Pmi_smt.Lit.t list
+(** A lemma clause asserting that the scheme's own µop row is {e not}
+    exactly the given port set — the MapCheck static-refutation step
+    ([Cegis] [config.mapcheck]): a candidate row whose throughput interval
+    excludes an already-observed value is ruled out before any SAT episode
+    pays for discovering it.  Like {!block_footprint}, guarded rows
+    contribute their negated activation literal, so the refutation retires
+    with the row.
+    @raise Invalid_argument if the scheme has no live row. *)
+
+val order_ports : ?schemes:Pmi_isa.Scheme.t list -> t -> int -> int -> unit
+(** Add a lexicographic column-ordering fact: column [p] ≥ column [q] read
+    along the own rows of [schemes] (default: all live proper rows).  Sound
+    whenever ports [p] and [q] are interchangeable for every row {e not}
+    covered by the constraint — in delta sessions (created with symmetry
+    breaking off because frozen rows pin port identities), MapCheck detects
+    port pairs whose swap leaves the accepted mapping invariant and feeds
+    them here over the freshly appended rows, restoring the symmetry
+    breaking the frozen rows still admit.  Clauses carry the ¬act guard of
+    every covered guarded row, so the fact never outlives the rows it
+    orders.  @raise Invalid_argument on an out-of-range or equal pair. *)
+
 val split_hint : t -> int list
 (** Cube-split hint for {!Pmi_smt.Solver.solve_cubes}: the own-port µop
     variables of the instruction classes, most constrained first — classes

@@ -86,6 +86,9 @@ let of_string ~resolve text =
   let lines = String.split_on_char '\n' text in
   let mapping = ref None in
   let result = ref (Ok ()) in
+  (* Duplicate scheme rows would silently shadow each other through
+     [Mapping.set]; reject them so a hand-edited file can't lose a row. *)
+  let seen = Hashtbl.create 64 in
   List.iteri
     (fun idx raw ->
        match !result with
@@ -107,8 +110,13 @@ let of_string ~resolve text =
               | name, usage ->
                 (match resolve name with
                  | Some scheme ->
-                   (try Mapping.set m scheme usage
-                    with Invalid_argument msg -> fail msg)
+                   if Hashtbl.mem seen (Scheme.id scheme) then
+                     fail ("duplicate scheme row: " ^ name)
+                   else begin
+                     Hashtbl.add seen (Scheme.id scheme) ();
+                     try Mapping.set m scheme usage
+                     with Invalid_argument msg -> fail msg
+                   end
                  | None -> fail ("unknown scheme: " ^ name))
               | exception Parse msg -> fail msg)
          end

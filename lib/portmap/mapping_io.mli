@@ -26,7 +26,8 @@ val of_string :
   (Mapping.t, error) result
 (** Parse a serialised mapping.  [resolve] maps the quoted scheme name back
     to a catalog scheme (see {!resolver}); unknown schemes are an error, as
-    is any malformed line. *)
+    is any malformed line, a duplicate scheme row, or a port beyond the
+    declared [ports] width — never an exception. *)
 
 val resolver : Pmi_isa.Catalog.t -> string -> Pmi_isa.Scheme.t option
 (** Name-based scheme lookup over a catalog. *)
