@@ -8,18 +8,43 @@ module Harness = Pmi_measure.Harness
 module Pipeline = Pmi_core.Pipeline
 module Blocking = Pmi_core.Blocking
 
+module Store = Pmi_store.Store
+
 let setup_logs level =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
 
-let make_harness ~reduced ~seed =
+(* [--store DIR]: the durable measurement/certificate store.  Opened
+   lazily on first use — `store verify` must be able to inspect the
+   directory read-only before recovery truncates anything — and closed at
+   exit.  One handle per process, shared by the harness tier and the
+   CEGIS certificate cache. *)
+let store_dir = ref None
+let store_handle = ref None
+
+let get_store () =
+  match !store_dir with
+  | None -> None
+  | Some dir ->
+    (match !store_handle with
+     | Some s -> Some s
+     | None ->
+       let s = Store.open_ dir in
+       store_handle := Some s;
+       at_exit (fun () -> Store.close s);
+       Some s)
+
+let make_machine ~reduced ~seed =
   let catalog =
     if reduced > 0 then Catalog.reduced ~per_bucket:reduced ()
     else Catalog.zen_plus ()
   in
   let config = { Machine.default_config with Machine.seed } in
-  Harness.create (Machine.create ~config catalog)
+  Machine.create ~config catalog
+
+let make_harness ~reduced ~seed =
+  Harness.create ?store:(get_store ()) (make_machine ~reduced ~seed)
 
 module Obs = Pmi_obs.Obs
 
@@ -82,7 +107,8 @@ let make_cegis_config () =
     Pmi_core.Cegis.domains = domains;
     Pmi_core.Cegis.enclint = !enclint_on || !enclint_simplify_on;
     Pmi_core.Cegis.enclint_simplify = !enclint_simplify_on;
-    Pmi_core.Cegis.mapcheck = !mapcheck_on }
+    Pmi_core.Cegis.mapcheck = !mapcheck_on;
+    Pmi_core.Cegis.store = get_store () }
 
 let run_pipeline ~reduced ~seed =
   let harness = make_harness ~reduced ~seed in
@@ -1113,6 +1139,123 @@ let all reduced seed =
   print_figure5 reduced run
 
 (* ------------------------------------------------------------------ *)
+(* Store maintenance (`pmi_repro store {stats,compact,verify,gc}`)     *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Pmi_obs.Json
+
+let store_required () =
+  match !store_dir with
+  | Some dir -> dir
+  | None ->
+    Format.eprintf "pmi_repro store: --store DIR is required@.";
+    exit 2
+
+let store_stats json =
+  let dir = store_required () in
+  let s = Option.get (get_store ()) in
+  let st = Store.stats s in
+  if json then begin
+    let n i = Json.Num (float_of_int i) in
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("dir", Json.Str dir);
+              ("live",
+               Json.Obj
+                 [ ("measurements", n st.Store.live_measurements);
+                   ("certificates", n st.Store.live_certificates);
+                   ("bench_history", n st.Store.live_bench) ]);
+              ("journal",
+               Json.Obj
+                 [ ("records", n st.Store.journal_records);
+                   ("bytes", n st.Store.journal_bytes) ]);
+              ("segment",
+               Json.Obj
+                 [ ("records", n st.Store.segment_records);
+                   ("bytes", n st.Store.segment_bytes) ]);
+              ("recovery",
+               Json.Obj
+                 [ ("replayed", n st.Store.replayed);
+                   ("corrupt", n st.Store.corrupt);
+                   ("truncated_bytes", n st.Store.truncated_bytes) ]);
+              ("session",
+               Json.Obj
+                 [ ("appends", n st.Store.appends);
+                   ("hits", n st.Store.hits);
+                   ("misses", n st.Store.misses);
+                   ("compactions", n st.Store.compactions) ]) ]))
+  end
+  else begin
+    Format.printf "store: %s@." dir;
+    Format.printf "live: %d measurement(s), %d certificate(s), %d bench \
+                   record(s)@."
+      st.Store.live_measurements st.Store.live_certificates st.Store.live_bench;
+    Format.printf "journal: %d record(s), %d bytes; segment: %d record(s), \
+                   %d bytes@."
+      st.Store.journal_records st.Store.journal_bytes st.Store.segment_records
+      st.Store.segment_bytes;
+    Format.printf "recovery: %d replayed, %d corrupt, %d torn byte(s) \
+                   truncated@."
+      st.Store.replayed st.Store.corrupt st.Store.truncated_bytes
+  end
+
+let store_compact () =
+  ignore (store_required ());
+  let s = Option.get (get_store ()) in
+  let before = Store.stats s in
+  Store.compact s;
+  let after = Store.stats s in
+  Format.printf
+    "compacted: %d journal record(s) folded into a %d-record segment (%d \
+     bytes)@."
+    before.Store.journal_records after.Store.segment_records
+    after.Store.segment_bytes
+
+let store_verify json =
+  let dir = store_required () in
+  let r = Store.verify dir in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("dir", Json.Str dir);
+              ("segment_records", Json.Num (float_of_int r.Store.r_segment_records));
+              ("journal_records", Json.Num (float_of_int r.Store.r_journal_records));
+              ("corrupt", Json.Num (float_of_int r.Store.r_corrupt));
+              ("torn_bytes", Json.Num (float_of_int r.Store.r_torn_bytes)) ]))
+  else
+    Format.printf
+      "verify %s: %d segment record(s), %d journal record(s), %d corrupt, \
+       %d torn byte(s)@."
+      dir r.Store.r_segment_records r.Store.r_journal_records r.Store.r_corrupt
+      r.Store.r_torn_bytes;
+  if r.Store.r_corrupt > 0 then exit 1
+
+(* Drop measurements recorded under a machine fingerprint other than the
+   one [--reduced]/[--seed] name (stale catalogs, old noise seeds).
+   Certificates and bench history are never dropped — they are small and
+   keyed by content. *)
+let store_gc reduced seed =
+  ignore (store_required ());
+  let s = Option.get (get_store ()) in
+  let prefix = Machine.fingerprint (make_machine ~reduced ~seed) ^ "|" in
+  let plen = String.length prefix in
+  let keep kind ~key _value =
+    match kind with
+    | Store.Measurement ->
+      String.length key >= plen && String.equal (String.sub key 0 plen) prefix
+    | Store.Certificate | Store.Bench_history -> true
+  in
+  let dropped = Store.gc s ~keep in
+  let st = Store.stats s in
+  Format.printf
+    "gc: dropped %d foreign measurement(s); %d measurement(s), %d \
+     certificate(s), %d bench record(s) live@."
+    dropped st.Store.live_measurements st.Store.live_certificates
+    st.Store.live_bench
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1176,6 +1319,16 @@ let mapcheck_flag =
              determined are skipped.  The inferred mapping is unchanged." in
   Arg.(value & flag & info [ "mapcheck" ] ~doc)
 
+let store_flag =
+  let doc = "Durable crash-safe store directory.  Measurements are read \
+             back before the harness re-benchmarks (warm-starting CEGIS \
+             from stored observations) and written through as they are \
+             taken; with $(b,--certify), checker-accepted UNSAT \
+             certificates short-circuit re-checking.  The directory is \
+             created on first use and recovers automatically from a \
+             crashed writer." in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
 let trace_out =
   let doc = "Record a telemetry trace of the run (CEGIS iterations, solver \
              calls, oracle searches, harness measurements) and write it to \
@@ -1190,7 +1343,7 @@ let metrics =
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
 let with_logs f reduced seed verbose dump_cnf certify_opt cubes_opt
-    enclint_opt enclint_simplify_opt mapcheck_opt trace metrics =
+    enclint_opt enclint_simplify_opt mapcheck_opt store_opt trace metrics =
   setup_logs (if verbose then Some Logs.Info else Some Logs.Warning);
   setup_obs ~trace ~metrics;
   cnf_prefix := dump_cnf;
@@ -1199,13 +1352,14 @@ let with_logs f reduced seed verbose dump_cnf certify_opt cubes_opt
   enclint_on := enclint_opt;
   enclint_simplify_on := enclint_simplify_opt;
   mapcheck_on := mapcheck_opt;
+  store_dir := store_opt;
   f reduced seed
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const (with_logs f) $ reduced $ seed $ verbose $ dump_cnf
           $ certify_flag $ cubes_flag $ enclint_global_flag
-          $ enclint_simplify_flag $ mapcheck_flag $ trace_out $ metrics)
+          $ enclint_simplify_flag $ mapcheck_flag $ store_flag $ trace_out $ metrics)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1240,13 +1394,13 @@ let () =
                         a mapping-equivalence report)")
                Term.(const (fun stream_n batch reduced seed verbose dump_cnf
                              certify cubes enclint enclint_simplify mapcheck
-                             trace metrics ->
+                             store trace metrics ->
                    with_logs (delta_stream stream_n batch) reduced seed
                      verbose dump_cnf certify cubes enclint enclint_simplify
-                     mapcheck trace metrics)
+                     mapcheck store trace metrics)
                      $ stream_n $ batch $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ enclint_simplify_flag $ mapcheck_flag $ store_flag $ trace_out
                      $ metrics));
             cmd "export" "Infer the port mapping and write it to a file" export;
             cmd "diff" "Compare the inferred mapping with the documentation" diff;
@@ -1259,14 +1413,14 @@ let () =
                (Cmd.info "analyze"
                   ~doc:"Port-pressure analysis of a basic block (llvm-mca style)")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             cubes enclint enclint_simplify mapcheck trace
-                             metrics ->
+                             cubes enclint enclint_simplify mapcheck store
+                             trace metrics ->
                    with_logs (analyze_block insns) reduced seed verbose
                      dump_cnf certify cubes enclint enclint_simplify mapcheck
-                     trace metrics)
+                     store trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ enclint_simplify_flag $ mapcheck_flag $ store_flag $ trace_out
                      $ metrics));
             (let insns =
                let doc = "Instruction scheme (name or unique prefix); repeatable." in
@@ -1277,14 +1431,14 @@ let () =
                   ~doc:"Show the explanatory microbenchmarks behind a scheme's \
                         inferred port usage")
                Term.(const (fun insns reduced seed verbose dump_cnf certify
-                             cubes enclint enclint_simplify mapcheck trace
-                             metrics ->
+                             cubes enclint enclint_simplify mapcheck store
+                             trace metrics ->
                    with_logs (explain_scheme insns) reduced seed verbose
                      dump_cnf certify cubes enclint enclint_simplify mapcheck
-                     trace metrics)
+                     store trace metrics)
                      $ insns $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ enclint_simplify_flag $ mapcheck_flag $ store_flag $ trace_out
                      $ metrics));
             (let files =
                let doc = "Port-mapping file(s) in the export format, linted \
@@ -1304,13 +1458,13 @@ let () =
                         exits non-zero on any error-severity diagnostic")
                Term.(const (fun files json reduced seed verbose dump_cnf
                              certify cubes enclint enclint_simplify mapcheck
-                             trace metrics ->
+                             store trace metrics ->
                    with_logs (lint_files files json) reduced seed verbose
                      dump_cnf certify cubes enclint enclint_simplify mapcheck
-                     trace metrics)
+                     store trace metrics)
                      $ files $ json $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ enclint_simplify_flag $ mapcheck_flag $ store_flag $ trace_out
                      $ metrics));
             (let files =
                let doc = "Port-mapping file(s) in the export format, audited \
@@ -1334,13 +1488,13 @@ let () =
                         error-severity diagnostic")
                Term.(const (fun files json reduced seed verbose dump_cnf
                              certify cubes enclint enclint_simplify mapcheck
-                             trace metrics ->
+                             store trace metrics ->
                    with_logs (mapcheck_run files json) reduced seed verbose
                      dump_cnf certify cubes enclint enclint_simplify mapcheck
-                     trace metrics)
+                     store trace metrics)
                      $ files $ json $ reduced $ seed $ verbose $ dump_cnf
                      $ certify_flag $ cubes_flag $ enclint_global_flag
-                     $ enclint_simplify_flag $ mapcheck_flag $ trace_out
+                     $ enclint_simplify_flag $ mapcheck_flag $ store_flag $ trace_out
                      $ metrics));
             (let files =
                let doc = "Port-mapping file(s) whose implied encodings are \
@@ -1368,14 +1522,14 @@ let () =
                         diagnostic")
                Term.(const (fun files simplify json reduced seed verbose
                              dump_cnf certify cubes enclint enclint_simplify
-                             mapcheck trace metrics ->
+                             mapcheck store trace metrics ->
                    with_logs (enclint_run files simplify json) reduced seed
                      verbose dump_cnf certify cubes enclint enclint_simplify
-                     mapcheck trace metrics)
+                     mapcheck store trace metrics)
                      $ files $ simplify $ json $ reduced $ seed $ verbose
                      $ dump_cnf $ certify_flag $ cubes_flag
                      $ enclint_global_flag $ enclint_simplify_flag
-                     $ mapcheck_flag $ trace_out $ metrics));
+                     $ mapcheck_flag $ store_flag $ trace_out $ metrics));
             (let schedules =
                let doc = "Number of deterministic replay schedules to shake \
                           each parallel workload through (capped at the \
@@ -1403,11 +1557,48 @@ let () =
                         exits non-zero on any data race")
                Term.(const (fun schedules plant json reduced seed verbose
                              dump_cnf certify cubes enclint enclint_simplify
-                             mapcheck trace metrics ->
+                             mapcheck store trace metrics ->
                    with_logs (sanitize schedules plant json) reduced seed
                      verbose dump_cnf certify cubes enclint enclint_simplify
-                     mapcheck trace metrics)
+                     mapcheck store trace metrics)
                      $ schedules $ plant $ json $ reduced $ seed $ verbose
                      $ dump_cnf $ certify_flag $ cubes_flag
                      $ enclint_global_flag $ enclint_simplify_flag
-                     $ mapcheck_flag $ trace_out $ metrics)) ]))
+                     $ mapcheck_flag $ store_flag $ trace_out $ metrics));
+            (let json =
+               let doc = "Emit a JSON object instead of human-readable text." in
+               Arg.(value & flag & info [ "json" ] ~doc)
+             in
+             let run store f = setup_logs (Some Logs.Warning); store_dir := store; f () in
+             Cmd.group
+               (Cmd.info "store"
+                  ~doc:"Maintain a durable measurement/certificate store \
+                        directory (see --store)")
+               [ Cmd.v
+                   (Cmd.info "stats"
+                      ~doc:"Open the store (running recovery) and report \
+                            live records, file sizes and recovery counts")
+                   Term.(const (fun store json ->
+                       run store (fun () -> store_stats json))
+                         $ store_flag $ json);
+                 Cmd.v
+                   (Cmd.info "compact"
+                      ~doc:"Fold the journal into a fresh segment (atomic \
+                            rename) and truncate the journal")
+                   Term.(const (fun store -> run store store_compact)
+                         $ store_flag);
+                 Cmd.v
+                   (Cmd.info "verify"
+                      ~doc:"Read-only integrity scan: nothing is truncated \
+                            or repaired; exits non-zero when any record \
+                            fails its checksum")
+                   Term.(const (fun store json ->
+                       run store (fun () -> store_verify json))
+                         $ store_flag $ json);
+                 Cmd.v
+                   (Cmd.info "gc"
+                      ~doc:"Drop measurements whose machine fingerprint \
+                            does not match --reduced/--seed, then compact")
+                   Term.(const (fun store reduced seed ->
+                       run store (fun () -> store_gc reduced seed))
+                         $ store_flag $ reduced $ seed) ]) ]))

@@ -311,3 +311,39 @@ let validate_model ~model steps =
     | _ :: rest -> go (i + 1) rest
   in
   go 0 steps
+
+(* ------------------------------------------------------------------ *)
+(* Certificate identity (durable certificate store)                    *)
+(* ------------------------------------------------------------------ *)
+
+let add_lits buf lits =
+  List.iter (fun l -> Buffer.add_string buf (string_of_int l); Buffer.add_char buf ' ') lits;
+  Buffer.add_char buf '\n'
+
+let goal_digest ~goal steps =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "goal ";
+  add_lits buf goal;
+  List.iter
+    (function
+      | Pmi_smt.Sat.Input lits -> Buffer.add_char buf 'i'; add_lits buf lits
+      | Pmi_smt.Sat.Derive _ | Pmi_smt.Sat.Delete _ -> ())
+    steps;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let proof_digest ~goal steps =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "goal ";
+  add_lits buf goal;
+  List.iter
+    (fun step ->
+       let tag, lits =
+         match step with
+         | Pmi_smt.Sat.Input lits -> ('i', lits)
+         | Pmi_smt.Sat.Derive lits -> ('d', lits)
+         | Pmi_smt.Sat.Delete lits -> ('x', lits)
+       in
+       Buffer.add_char buf tag;
+       add_lits buf lits)
+    steps;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

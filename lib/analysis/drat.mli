@@ -44,3 +44,17 @@ val validate_model :
     [Sat.add_clause].  Variables outside the model are treated as false. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val goal_digest : goal:Pmi_smt.Lit.t list -> Pmi_smt.Sat.proof_step list -> string
+(** Hex digest of the certified {e claim}: the goal clause plus every
+    [Input] step (problem CNF, cardinality chains, theory lemmas) of the
+    trace, ignoring derivations.  Two traces with equal goal digests
+    assert the same theorem, so the digest keys checker-accepted
+    certificates in the durable store. *)
+
+val proof_digest : goal:Pmi_smt.Lit.t list -> Pmi_smt.Sat.proof_step list -> string
+(** Hex digest of the goal plus the {e entire} trace, derivations and
+    deletions included — the identity of one concrete proof.  The
+    certificate store records it as the value under {!goal_digest}, so a
+    re-check is skipped only when the exact previously-accepted proof
+    reappears. *)

@@ -22,8 +22,11 @@ let c_sat_episodes = Obs.counter "cegis.sat_episodes"
 let c_mapcheck_refuted = Obs.counter "cegis.mapcheck.refuted_rows"
 let c_mapcheck_saved = Obs.counter "cegis.mapcheck.measurements_saved"
 let c_mapcheck_symmetries = Obs.counter "cegis.mapcheck.symmetry_facts"
+let c_cert_cached = Obs.counter "cegis.certificates_cached"
+let c_warm_obs = Obs.counter "cegis.warm_observations"
 
 module Mapcheck = Pmi_analysis.Mapcheck
+module IntSet = Set.Make (Int)
 
 (* Process-wide episode tally; per-run numbers are snapshots around one
    inference (the repo never runs two inferences concurrently). *)
@@ -59,6 +62,7 @@ type config = {
   enclint : bool;
   enclint_simplify : bool;
   mapcheck : bool;
+  store : Pmi_store.Store.t option;
 }
 
 exception Certification_failure of string
@@ -81,7 +85,8 @@ let default_config =
     certify = false;
     enclint = false;
     enclint_simplify = false;
-    mapcheck = false }
+    mapcheck = false;
+    store = None }
 
 type observation = {
   experiment : Experiment.t;
@@ -280,16 +285,37 @@ let certify_unsat config ?(assumptions = []) sat =
         (Certification_failure
            "certify is on but the solver carries no proof trace");
     let goal = List.map Pmi_smt.Lit.negate assumptions in
-    match Pmi_analysis.Drat.check ~goal (Pmi_smt.Sat.proof sat) with
-    | Ok () ->
-      Log.debug (fun m ->
-          m "UNSAT certificate accepted (%d proof steps)"
-            (Pmi_smt.Sat.proof_length sat))
-    | Error e ->
-      raise
-        (Certification_failure
-           (Format.asprintf "UNSAT certificate rejected: %a"
-              Pmi_analysis.Drat.pp_error e))
+    let proof = Pmi_smt.Sat.proof sat in
+    let run_checker () =
+      match Pmi_analysis.Drat.check ~goal proof with
+      | Ok () ->
+        Log.debug (fun m ->
+            m "UNSAT certificate accepted (%d proof steps)"
+              (Pmi_smt.Sat.proof_length sat))
+      | Error e ->
+        raise
+          (Certification_failure
+             (Format.asprintf "UNSAT certificate rejected: %a"
+                Pmi_analysis.Drat.pp_error e))
+    in
+    (* The durable certificate store short-circuits the checker only when
+       this exact proof of this exact goal (same axioms) was accepted by a
+       previous run: the key is the claim's digest, the stored value the
+       full proof's.  A different proof of a known goal is re-checked and
+       the record refreshed. *)
+    match config.store with
+    | None -> run_checker ()
+    | Some store ->
+      let key = "unsat:" ^ Pmi_analysis.Drat.goal_digest ~goal proof in
+      let digest = Pmi_analysis.Drat.proof_digest ~goal proof in
+      (match Pmi_store.Store.get store Pmi_store.Store.Certificate ~key with
+       | Some stored when String.equal stored digest ->
+         Obs.incr c_cert_cached;
+         Log.debug (fun m ->
+             m "UNSAT certificate found in store; re-check skipped")
+       | _ ->
+         run_checker ();
+         Pmi_store.Store.put store Pmi_store.Store.Certificate ~key digest)
   end
 
 (* A SAT verdict is certified against the axioms, not the solver: the model
@@ -693,7 +719,7 @@ let explain ?(config = default_config) ~specs ~observations () =
    | None -> ());
   result
 
-let infer ?(config = default_config) ~measure ~specs () =
+let infer ?(config = default_config) ?(warm_start = []) ~measure ~specs () =
   Obs.span "cegis.infer" @@ fun () ->
   let pool = Vec.create () in
   let observations = Vec.create () in
@@ -725,12 +751,7 @@ let infer ?(config = default_config) ~measure ~specs () =
     refutation_targets := enc :: !refutation_targets;
     replay_refutations enc
   in
-  let observe experiment =
-    let cycles =
-      Obs.span "cegis.observe" (fun () -> measure experiment)
-    in
-    Obs.incr c_observations;
-    let obs = { experiment; cycles } in
+  let record obs =
     Race.touch_write obs_loc;
     Vec.push observations obs;
     (match refuter with
@@ -738,13 +759,13 @@ let infer ?(config = default_config) ~measure ~specs () =
      | Some r ->
        let dropped =
          Obs.span "cegis.mapcheck" (fun () ->
-             Mapcheck.Refuter.observe r experiment cycles)
+             Mapcheck.Refuter.observe r obs.experiment obs.cycles)
        in
        if dropped <> [] then begin
          Obs.add c_mapcheck_refuted (List.length dropped);
          Log.debug (fun m ->
              m "mapcheck: observation %s refutes %d candidate row(s)"
-               (Experiment.to_string experiment) (List.length dropped));
+               (Experiment.to_string obs.experiment) (List.length dropped));
          List.iter
            (fun (scheme, usage) ->
               match usage with
@@ -754,6 +775,48 @@ let infer ?(config = default_config) ~measure ~specs () =
        end);
     obs
   in
+  let observe experiment =
+    let cycles =
+      Obs.span "cegis.observe" (fun () -> measure experiment)
+    in
+    Obs.incr c_observations;
+    record { experiment; cycles }
+  in
+  let already_observed e =
+    Vec.exists (fun o -> Experiment.equal o.experiment e) observations
+  in
+  (* Warm start: replay durable observations from a previous run as if
+     they had just been measured — they enter the observation log and the
+     MapCheck refuter before any encoding exists, so replayed refutations
+     land in every encoding via [register_target].  Observations naming
+     schemes outside [specs] (another stage's floods, a retry after a
+     culprit removal) are skipped. *)
+  (match warm_start with
+   | [] -> ()
+   | warm ->
+     let spec_ids =
+       List.fold_left
+         (fun acc (s, _) -> IntSet.add (Scheme.id s) acc)
+         IntSet.empty specs
+     in
+     let in_specs e =
+       List.for_all
+         (fun s -> IntSet.mem (Scheme.id s) spec_ids)
+         (Experiment.schemes e)
+     in
+     let replayed = ref 0 in
+     List.iter
+       (fun obs ->
+          if in_specs obs.experiment && not (already_observed obs.experiment)
+          then begin
+            incr replayed;
+            Obs.incr c_warm_obs;
+            ignore (record obs)
+          end)
+       warm;
+     if !replayed > 0 then
+       Log.info (fun m ->
+           m "warm start: replayed %d stored observation(s)" !replayed));
   List.iter
     (fun (s, _) ->
        let e = Experiment.singleton s in
@@ -772,6 +835,11 @@ let infer ?(config = default_config) ~measure ~specs () =
              m "mapcheck: %s statically determined; measurement skipped"
                (Experiment.to_string e))
        end
+       else if already_observed e then
+         (* Warm-started: the durable store already answered this one. *)
+         Log.debug (fun m ->
+             m "warm start: %s already observed; measurement skipped"
+               (Experiment.to_string e))
        else ignore (observe e))
     specs;
   let fm_encoding = fresh_encoding config specs pool in

@@ -136,6 +136,20 @@ type config = {
                                    [cegis.mapcheck.*] counters; off for
                                    [num_ports] > 12 where the candidate
                                    spaces explode (default [false]) *)
+  store : Pmi_store.Store.t option;
+                               (** durable store for checker-accepted
+                                   certificates: with [certify] on, an
+                                   UNSAT verdict whose exact proof (keyed
+                                   by {!Pmi_analysis.Drat.goal_digest},
+                                   valued by
+                                   {!Pmi_analysis.Drat.proof_digest}) was
+                                   accepted by a previous run skips the
+                                   DRAT re-check ([cegis.certificates_cached]
+                                   counts the skips); freshly accepted
+                                   certificates are written through.  The
+                                   {e measurement} store rides on the
+                                   harness ({!Pmi_measure.Harness.create}),
+                                   not on this field (default [None]) *)
 }
 
 exception Certification_failure of string
@@ -192,12 +206,25 @@ val consistent :
 
 val infer :
   ?config:config ->
+  ?warm_start:observation list ->
   measure:(Pmi_portmap.Experiment.t -> Pmi_numeric.Rat.t) ->
   specs:(Pmi_isa.Scheme.t * Encoding.instr_spec) list ->
   unit ->
   outcome
 (** Run Algorithm 2.  [measure] performs one steady-state benchmark; the
-    initial experiment set is the singleton benchmark of every scheme. *)
+    initial experiment set is the singleton benchmark of every scheme.
+
+    [warm_start] (default [[]]) replays previously measured observations
+    — typically {!Pmi_measure.Harness.stored_observations} from a
+    durable store — before the initial singleton round: they join the
+    observation log and feed the MapCheck refuter exactly as fresh
+    measurements would, singleton measurements they already cover are
+    skipped, and the convergence-time validation sweep skips every
+    experiment they answer.  Observations mentioning schemes outside
+    [specs] are ignored ([cegis.warm_observations] counts the replayed
+    ones).  Warm starting is sound: replayed values are real
+    measurements of the same machine, so they constrain the search
+    exactly as they did in the run that produced them. *)
 
 val explain :
   ?config:config ->

@@ -302,14 +302,33 @@ let find_culprit config harness specs observations =
 
 let run_cegis config harness classes improper =
   let measure e = Harness.cycles harness e in
-  let rec attempt classes improper removed =
+  (* Durable warm start: every stored measurement of this machine enters
+     the inference as a replayed observation ([Cegis.infer] filters to
+     the current specs, so floods from other pipeline stages and retired
+     culprits drop out).  An empty list without a store — zero change to
+     the cold path. *)
+  let warm_start =
+    List.map
+      (fun (experiment, cycles) -> { Cegis.experiment; cycles })
+      (Harness.stored_observations harness)
+  in
+  let rec attempt ~warm_start classes improper removed =
     let specs = specs_of config harness classes improper in
-    match Cegis.infer ~config:config.cegis ~measure ~specs () with
+    match Cegis.infer ~config:config.cegis ~warm_start ~measure ~specs () with
     | Cegis.Converged (m, stats) -> (m, stats, classes, improper, removed)
     | Cegis.Iteration_limit _ ->
       failwith "Pipeline: CEGIS iteration limit exceeded"
     | Cegis.No_consistent_mapping stats ->
       (match find_culprit config.cegis harness specs stats.Cegis.observations with
+       | None when warm_start <> [] ->
+         (* A full replayed history can implicate several §4.3 anomalies at
+            once, which the one-culprit-per-round search cannot untangle.
+            Re-run this attempt cold: the culprit protocol then sees
+            observations arrive in its own order, and every measurement is
+            still answered by the durable store, not the machine. *)
+         Log.info (fun m ->
+             m "warm start left no single culprit; replaying this round cold");
+         attempt ~warm_start:[] classes improper removed
        | None -> failwith "Pipeline: observations admit no mapping and no culprit"
        | Some victims ->
          Log.info (fun m ->
@@ -335,9 +354,9 @@ let run_cegis config harness classes improper =
              (fun s -> not (List.exists (Scheme.equal s) victims))
              improper
          in
-         attempt classes' improper' (removed @ removed_classes))
+         attempt ~warm_start classes' improper' (removed @ removed_classes))
   in
-  attempt classes improper []
+  attempt ~warm_start classes improper []
 
 (* ------------------------------------------------------------------ *)
 (* Regular-pattern detection (§4.4)                                    *)
